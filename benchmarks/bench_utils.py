@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md §5, prints
+the rows/series the paper reports, and saves them under
+``benchmarks/results/`` so EXPERIMENTS.md can reference concrete runs.
+Scenario benchmarks execute once (``once``): they are full simulations
+whose wall-time is reported by pytest-benchmark but whose *product* is
+the experiment table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Print the experiment report and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a full-simulation benchmark exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

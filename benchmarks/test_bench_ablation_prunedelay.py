@@ -1,0 +1,70 @@
+"""EXP-A2 — ablation: the Prune Delay Time T_PruneDel (default 3 s).
+
+§4.3.1: "The wasted capacity depends mainly on the bit rate of the
+sender, the PIM-DM Prune Delay Time T_PruneDel (default 3 s), the
+number of links to be pruned, and the mobility rate of the sender."
+
+A mobile sender moves to the off-tree Link 6 under local sending; the
+re-flood persists on soon-to-be-pruned links for ~T_PruneDel.  Sweeping
+T_PruneDel shows the waste growing with it.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import fmt_bytes, fmt_float, render_table
+from repro.core import LOCAL_MEMBERSHIP, PaperScenario, ScenarioConfig
+from repro.pimdm import PimDmConfig
+
+from bench_utils import once, save_report
+
+
+def one(prune_delay: float):
+    """All receivers leave the group before the move, so every datagram
+    the re-flood pushes downstream is waste; the prune-pending window
+    (T_PruneDel) plus the Join-override cascade on Link 3 controls how
+    long the flood persists."""
+    sc = PaperScenario(
+        ScenarioConfig(
+            seed=30,
+            approach=LOCAL_MEMBERSHIP,
+            pim=PimDmConfig(prune_delay=prune_delay),
+            packet_interval=0.02,  # 50 pkt/s: waste is visible
+        )
+    )
+    sc.converge()
+    for name in ("R1", "R2", "R3"):
+        sc.paper.host(name).leave_group(sc.group)  # Done -> fast leave
+    sc.run_until(38.0)
+    before = sc.metrics.snapshot()
+    sc.move("S", "L6", at=40.0)
+    sc.run_until(70.0)
+    delta = sc.metrics.snapshot().delta(before)
+    # with no members anywhere, every multicast byte beyond the sender's
+    # own link is flood-and-prune convergence waste
+    waste = sum(
+        delta.bytes_on(l, "mcast_data") for l in ("L1", "L2", "L3", "L4", "L5")
+    )
+    return {"prune_delay": prune_delay, "wasted_bytes": waste}
+
+
+def run():
+    return [one(pd) for pd in (1.0, 3.0, 6.0, 12.0)]
+
+
+def test_bench_ablation_prunedelay(benchmark):
+    rows = once(benchmark, run)
+    table = render_table(
+        rows,
+        [
+            ("prune_delay", "T_PruneDel (s)", fmt_float(0)),
+            ("wasted_bytes", "re-flood waste on memberless links", fmt_bytes),
+        ],
+        title="Ablation: prune delay vs re-flood waste (mobile sender, §4.3.1)",
+    )
+    save_report("ablation_prunedelay", table)
+
+    wastes = [r["wasted_bytes"] for r in rows]
+    assert all(w > 0 for w in wastes), "re-flood must hit memberless links"
+    # waste grows with the prune-delay window
+    assert wastes[-1] > wastes[0]
+    assert wastes == sorted(wastes)

@@ -1,0 +1,104 @@
+"""EXP-C2 — §4.3 comparison: bandwidth consumption.
+
+Measures the three §4.3.1 bandwidth components per approach:
+
+* leave-delay waste on the abandoned link (all approaches — MLD cannot
+  see a host leave),
+* tunnel overhead per datagram (tunnel approaches only),
+* re-flood traffic onto off-tree links when a local-sending mobile
+  moves (scales with source bit rate, paper §4.3.1),
+
+plus the bit-rate scaling of the waste.
+"""
+
+from repro.analysis import fmt_bytes, fmt_seconds, render_table
+from repro.core import ALL_APPROACHES, LOCAL_MEMBERSHIP
+from repro.core.comparison import receiver_mobility_run, sender_mobility_run
+from repro.mld import MldConfig
+
+# shorter MLD cycle keeps the leave-delay horizon benchmark-friendly
+MLD = MldConfig(query_interval=20.0, query_response_interval=5.0,
+                startup_query_interval=5.0)
+
+from bench_utils import once, save_report
+
+
+def run():
+    receiver_rows = [
+        receiver_mobility_run(a, seed=7, mld=MLD, measure_leave=True)
+        for a in ALL_APPROACHES
+    ]
+    sender_rows = [
+        sender_mobility_run(a, seed=7, mld=MLD, run_until=80.0)
+        for a in ALL_APPROACHES
+    ]
+    # §4.3.1: "the wasted capacity depends mainly on the bit rate of the
+    # sender" — sweep the CBR rate for the local approach.
+    rate_rows = []
+    for interval in (0.2, 0.1, 0.05):
+        row = receiver_mobility_run(
+            LOCAL_MEMBERSHIP, seed=7, mld=MLD, measure_leave=True,
+            packet_interval=interval,
+        )
+        rate_rows.append(
+            {
+                "packets_per_s": round(1 / interval, 1),
+                "wasted_bytes_old_link": row["wasted_bytes_old_link"],
+                "leave_delay": row["leave_delay"],
+            }
+        )
+    return receiver_rows, sender_rows, rate_rows
+
+
+def test_bench_cmp_bandwidth(benchmark):
+    receiver_rows, sender_rows, rate_rows = once(benchmark, run)
+
+    parts = [
+        render_table(
+            receiver_rows,
+            [
+                ("approach", "approach"),
+                ("leave_delay", "leave delay", fmt_seconds),
+                ("wasted_bytes_old_link", "wasted on old link", fmt_bytes),
+                ("tunnel_overhead", "tunnel overhead", fmt_bytes),
+            ],
+            title=f"Receiver move bandwidth (T_MLI={MLD.multicast_listener_interval:.0f}s)",
+        ),
+        render_table(
+            sender_rows,
+            [
+                ("approach", "approach"),
+                ("new_sg_entries", "new (S,G)"),
+                ("tunnel_overhead", "tunnel overhead", fmt_bytes),
+                ("pim_bytes", "PIM signaling", fmt_bytes),
+            ],
+            title="Sender move bandwidth",
+        ),
+        render_table(
+            rate_rows,
+            [
+                ("packets_per_s", "source pkt/s"),
+                ("wasted_bytes_old_link", "wasted on old link", fmt_bytes),
+                ("leave_delay", "leave delay", fmt_seconds),
+            ],
+            title="Leave-delay waste scales with source bit rate (§4.3.1)",
+        ),
+    ]
+    save_report("cmp_bandwidth", "\n\n".join(parts))
+
+    by_r = {r["approach"]: r for r in receiver_rows}
+    by_s = {r["approach"]: r for r in sender_rows}
+    # every approach wastes bandwidth on the old link until MLD notices
+    for row in receiver_rows:
+        assert row["wasted_bytes_old_link"] > 10_000, row["approach"]
+    # tunnel overhead only in tunnel-receive approaches
+    assert by_r["local"]["tunnel_overhead"] == 0
+    assert by_r["ut-mh-ha"]["tunnel_overhead"] == 0
+    assert by_r["bidir"]["tunnel_overhead"] > 0
+    assert by_r["ut-ha-mh"]["tunnel_overhead"] > 0
+    # tunnel-send approaches pay overhead; local-send rebuilds the tree
+    assert by_s["bidir"]["tunnel_overhead"] > 0
+    assert by_s["local"]["new_sg_entries"] == 5
+    # waste grows monotonically with the source rate
+    wastes = [r["wasted_bytes_old_link"] for r in rate_rows]
+    assert wastes[0] < wastes[1] < wastes[2]

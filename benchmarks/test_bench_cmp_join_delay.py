@@ -1,0 +1,69 @@
+"""EXP-C1 — §4.3 comparison: join delay of a mobile receiver.
+
+Receiver 3 moves to the off-tree Link 6 under every approach, with and
+without the paper's unsolicited-Report recommendation.  Expected shape:
+tunnel reception and unsolicited local Reports give ~handoff-pipeline
+delays; wait-for-query costs O(T_Query) (67.5 s expected with defaults).
+"""
+
+from repro.analysis import (
+    expected_join_delay_unsolicited,
+    expected_join_delay_wait_for_query,
+    fmt_seconds,
+    render_table,
+)
+from repro.core import ALL_APPROACHES, LOCAL_MEMBERSHIP, TUNNEL_MH_TO_HA
+from repro.core.comparison import receiver_mobility_run
+from repro.mipv6 import MobileIpv6Config
+from repro.mld import MldConfig
+
+from bench_utils import once, save_report
+
+
+def run():
+    rows = []
+    for approach in ALL_APPROACHES:
+        row = receiver_mobility_run(approach, seed=6, measure_leave=False)
+        row["variant"] = "unsolicited Reports"
+        rows.append(row)
+    for approach in (LOCAL_MEMBERSHIP, TUNNEL_MH_TO_HA):
+        row = receiver_mobility_run(
+            approach, seed=6, unsolicited=False, measure_leave=False
+        )
+        row["variant"] = "wait for Query"
+        rows.append(row)
+    return rows
+
+
+def test_bench_cmp_join_delay(benchmark):
+    rows = once(benchmark, run)
+    model_wait = expected_join_delay_wait_for_query(MldConfig())
+    model_unsol = expected_join_delay_unsolicited(MobileIpv6Config())
+
+    table = render_table(
+        rows,
+        [
+            ("approach", "approach"),
+            ("variant", "variant"),
+            ("join_delay", "join delay", fmt_seconds),
+        ],
+        title="Join delay, R3 moves Link4->Link6 (§4.3)",
+    )
+    notes = (
+        f"\nanalytic: wait-for-query E = T_Query/2 + T_RespDel/2 = {model_wait:.1f}s; "
+        f"unsolicited E = handoff pipeline = {model_unsol:.1f}s"
+    )
+    save_report("cmp_join_delay", table + notes)
+
+    by = {(r["approach"], r["variant"]): r["join_delay"] for r in rows}
+    fast = by[("local", "unsolicited Reports")]
+    slow = by[("local", "wait for Query")]
+    tunnel = by[("bidir", "unsolicited Reports")]
+    # Paper shape: tunnel ~ unsolicited-local << wait-for-query.
+    assert fast < 3.0
+    assert tunnel < 3.0
+    assert slow > 10 * fast
+    # wait-for-query lands within one query cycle + MRD of the move
+    assert slow <= 125.0 + 10.0 + 3.0
+    # every approach eventually rejoins
+    assert all(d is not None for d in by.values())

@@ -1,0 +1,51 @@
+"""EXP-C3 — §4.3 comparison: routing optimality (path stretch).
+
+Local membership routes multicast optimally (stretch 1.0); tunneled
+reception detours via the home agent, crossing links twice — the paper's
+Figures 2 vs 3 contrast.  Measured for two destination links: the
+off-tree Link 6 and the source's own Link 1 (the worst case of Fig. 3).
+"""
+
+from repro.analysis import fmt_float, render_table
+from repro.core import ALL_APPROACHES
+from repro.core.comparison import receiver_mobility_run
+
+from bench_utils import once, save_report
+
+
+def run():
+    rows = []
+    for move_link in ("L6", "L1"):
+        for approach in ALL_APPROACHES:
+            row = receiver_mobility_run(
+                approach, seed=8, move_link=move_link, measure_leave=False
+            )
+            row["move_link"] = move_link
+            rows.append(row)
+    return rows
+
+
+def test_bench_cmp_stretch(benchmark):
+    rows = once(benchmark, run)
+    table = render_table(
+        rows,
+        [
+            ("move_link", "R3 moved to"),
+            ("approach", "approach"),
+            ("stretch", "stretch (measured/optimal latency)", fmt_float(2)),
+            ("duplicates", "duplicate deliveries"),
+        ],
+        title="Routing optimality per approach (§4.3)",
+    )
+    save_report("cmp_stretch", table)
+
+    by = {(r["move_link"], r["approach"]): r["stretch"] for r in rows}
+    # local receive: optimal on both destinations
+    for link in ("L6", "L1"):
+        assert abs(by[(link, "local")] - 1.0) < 0.2
+        assert abs(by[(link, "ut-mh-ha")] - 1.0) < 0.2
+    # tunneled receive: suboptimal, dramatically so on the source link
+    assert by[("L6", "bidir")] > 1.1
+    assert by[("L6", "ut-ha-mh")] > 1.1
+    assert by[("L1", "bidir")] > 3.0  # one hop optimal, ~6 via Router D
+    assert by[("L1", "ut-ha-mh")] > 3.0

@@ -1,0 +1,68 @@
+"""EXP-C4 — §4.3 comparison: system load.
+
+Per-approach load on home agents, mobile hosts, and PIM-DM routers,
+plus the §4.3.2 scaling sweeps: HA encapsulation load grows linearly
+with the number of mobile hosts, the number of groups, and the traffic
+rate — and is zero under local membership.
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    ALL_APPROACHES,
+    render_scaling,
+    run_ha_load_vs_groups,
+    run_ha_load_vs_mobiles,
+    run_ha_load_vs_rate,
+)
+from repro.core.comparison import receiver_mobility_run
+
+from bench_utils import once, save_report
+
+
+def run():
+    approach_rows = []
+    for approach in ALL_APPROACHES:
+        row = receiver_mobility_run(approach, seed=9, measure_leave=False)
+        approach_rows.append(
+            {
+                "approach": row["approach"],
+                "ha_encapsulations": row["ha_encapsulations"],
+                "mn_decapsulations": row["mn_decapsulations"],
+                "ha_groups_on_behalf": row["ha_groups_on_behalf"],
+            }
+        )
+    mobiles = run_ha_load_vs_mobiles(counts=(1, 2, 4, 8), measure_window=20.0)
+    groups = run_ha_load_vs_groups(counts=(1, 2, 4), measure_window=20.0)
+    rate = run_ha_load_vs_rate(packet_intervals=(0.2, 0.1, 0.05), measure_window=20.0)
+    return approach_rows, mobiles, groups, rate
+
+
+def test_bench_cmp_sysload(benchmark):
+    approach_rows, mobiles, groups, rate = once(benchmark, run)
+
+    parts = [
+        render_table(
+            approach_rows,
+            ["approach", "ha_encapsulations", "mn_decapsulations", "ha_groups_on_behalf"],
+            title="System load per approach (receiver on Link 6, §4.3)",
+        ),
+        render_scaling(mobiles, "mobiles"),
+        render_scaling(groups, "groups"),
+        render_scaling(rate, "packets_per_s"),
+    ]
+    save_report("cmp_sysload", "\n\n".join(parts))
+
+    by = {r["approach"]: r for r in approach_rows}
+    # local membership: "no additional system load in home agents" (§4.3.1)
+    assert by["local"]["ha_encapsulations"] == 0
+    assert by["ut-mh-ha"]["ha_encapsulations"] == 0
+    # tunnel reception loads HA and MN per datagram (§4.3.2)
+    assert by["bidir"]["ha_encapsulations"] > 100
+    assert by["bidir"]["mn_decapsulations"] > 100
+    # linear scaling claims
+    enc = [r["ha_encapsulations"] for r in mobiles]
+    assert enc[1] > 1.8 * enc[0] and enc[3] > 7 * enc[0]
+    genc = [r["ha_encapsulations"] for r in groups]
+    assert genc[2] > 3.5 * genc[0]
+    renc = [r["ha_encapsulations"] for r in rate]
+    assert renc[2] > 3.5 * renc[0]

@@ -1,0 +1,61 @@
+"""Simulator micro-benchmarks: kernel throughput and scenario cost.
+
+Not a paper artifact — engineering benchmarks that keep the DES fast
+enough for the sweeps (run_timer_sweep executes ~10 simulated hours).
+"""
+
+from repro.core import LOCAL_MEMBERSHIP, PaperScenario, ScenarioConfig
+from repro.net import Address, ApplicationData, Ipv6Packet
+from repro.sim import Simulator, Timer
+
+
+def test_bench_kernel_schedule_dispatch(benchmark):
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i % 100), lambda: None)
+        sim.run()
+        return sim.events_dispatched
+
+    assert benchmark(run) == 10_000
+
+
+def test_bench_kernel_timer_restart(benchmark):
+    """The MLD membership-timer pattern: frequent restarts."""
+
+    def run():
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        for _ in range(5_000):
+            timer.start(100.0)
+        sim.run(until=1.0)
+        return True
+
+    assert benchmark(run)
+
+
+def test_bench_packet_encapsulation(benchmark):
+    inner = Ipv6Packet(
+        Address("2001:db8:1::10"), Address("ff1e::1"),
+        ApplicationData(seqno=0, payload_bytes=1000),
+    )
+    coa = Address("2001:db8:6::10")
+    ha = Address("2001:db8:1::1")
+
+    def run():
+        outer = inner.encapsulate(coa, ha)
+        return outer.size_bytes + outer.decapsulate().size_bytes
+
+    assert benchmark(run) == 1080 + 1040
+
+
+def test_bench_paper_scenario_convergence(benchmark):
+    """Wall time to build + converge the full Figure 1 scenario."""
+
+    def run():
+        sc = PaperScenario(ScenarioConfig(seed=40, approach=LOCAL_MEMBERSHIP))
+        sc.converge()
+        return sc.net.sim.events_dispatched
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events > 1_000

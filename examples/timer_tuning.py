@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""MLD timer tuning for mobile receivers (paper Section 4.4).
+
+Sweeps the MLD Query Interval and shows the trade-off the paper
+recommends administrators evaluate: join/leave delay (and the wasted
+bandwidth behind the leave delay) against extra Query/Report traffic.
+Prints the sweep table and a tuning recommendation for a given target
+join delay.
+
+Run:  python examples/timer_tuning.py        (~15 s)
+"""
+
+from repro.analysis import expected_join_delay_wait_for_query
+from repro.core import run_timer_sweep
+from repro.core.timer_optimization import render_sweep
+from repro.mld import MldConfig
+
+
+def recommend(target_join_delay: float) -> float:
+    """Largest standard T_Query meeting the target (cheapest signaling
+    that still satisfies the delay goal; footnote 5 sets the floor)."""
+    floor = MldConfig().query_response_interval  # T_Query >= T_RespDel
+    candidates = [125.0, 60.0, 30.0, 20.0, 15.0, 10.0]
+    for qi in candidates:
+        if qi < floor:
+            continue
+        cfg = MldConfig().with_query_interval(qi)
+        if expected_join_delay_wait_for_query(cfg) <= target_join_delay:
+            return qi
+    return floor
+
+
+def main() -> None:
+    print("Sweeping the MLD Query Interval (3 seeds per point)...\n")
+    points = run_timer_sweep(query_intervals=(10.0, 25.0, 60.0, 125.0),
+                             seeds=(0, 1, 2))
+    print(render_sweep(points))
+
+    fast, slow = points[0], points[-1]
+    saving = slow.mean_wasted_bytes - fast.mean_wasted_bytes
+    cost = fast.mean_mld_bytes_per_s - slow.mean_mld_bytes_per_s
+    print(
+        f"\nT_Query 125s -> 10s: join delay {slow.mean_join_delay:.1f}s -> "
+        f"{fast.mean_join_delay:.1f}s, leave delay {slow.mean_leave_delay:.1f}s -> "
+        f"{fast.mean_leave_delay:.1f}s"
+    )
+    print(
+        f"cost: +{cost:.1f} B/s of Queries/Reports; saving: "
+        f"{saving / 1000:.0f} kB of wasted multicast per receiver move"
+    )
+    print("==> the paper's §4.4 conclusion: the tuning cost is small "
+          "compared with the saving")
+
+    for target in (10.0, 20.0, 40.0):
+        print(f"target mean join delay <= {target:.0f}s  ->  "
+              f"T_Query = {recommend(target):.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""``python -m repro`` — the experiment CLI (see :mod:`repro.cli`)."""
+
+from .cli import main
+
+main()

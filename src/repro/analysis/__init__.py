@@ -1,0 +1,39 @@
+"""Analytic models and report rendering."""
+
+from .delays import (
+    expected_join_delay_unsolicited,
+    expected_join_delay_wait_for_query,
+    expected_leave_delay,
+    leave_delay_bounds,
+)
+from .figures import render_figure, render_tree, tree_edges
+from .tables import Column, fmt_bytes, fmt_float, fmt_seconds, render_table
+from .timeline import (
+    export_trace_json,
+    handoff_timeline,
+    load_trace_json,
+    render_timeline,
+)
+from .timeseries import BandwidthRecorder, render_series, sparkline
+
+__all__ = [
+    "BandwidthRecorder",
+    "Column",
+    "expected_join_delay_unsolicited",
+    "export_trace_json",
+    "expected_join_delay_wait_for_query",
+    "expected_leave_delay",
+    "fmt_bytes",
+    "fmt_float",
+    "fmt_seconds",
+    "handoff_timeline",
+    "load_trace_json",
+    "leave_delay_bounds",
+    "render_figure",
+    "render_series",
+    "render_timeline",
+    "sparkline",
+    "render_table",
+    "render_tree",
+    "tree_edges",
+]

@@ -1,0 +1,81 @@
+"""Closed-form delay models for MLD-driven join/leave latencies.
+
+The paper argues (§4.3.1, §4.4) that with default MLD timers the join
+and leave delays of mobile receivers are far too high and derives the
+improvement from decreasing T_Query.  These are the corresponding
+expectations; the simulation experiments check against them.
+
+Model assumptions (matching the simulator): a single member on the
+link, a querier sending General Queries every T_Query, hosts answering
+after a uniform delay in [0, T_RespDel], memberships expiring after
+T_MLI = Robustness · T_Query + T_RespDel.
+"""
+
+from __future__ import annotations
+
+from ..mipv6 import MobileIpv6Config
+from ..mld import MldConfig
+
+__all__ = [
+    "expected_join_delay_wait_for_query",
+    "expected_join_delay_unsolicited",
+    "expected_leave_delay",
+    "leave_delay_bounds",
+]
+
+
+def expected_join_delay_wait_for_query(mld: MldConfig) -> float:
+    """E[join delay] for a host that waits for the next Query.
+
+    Attachment is uniform within a query cycle (E[wait] = T_Query / 2),
+    then the response timer adds E[U(0, T_RespDel)] = T_RespDel / 2.
+    The subsequent graft completes in network round-trip time — ignored
+    at these scales.  125 s defaults give ≈ 67.5 s, the "far too high"
+    value of §4.3.1.
+    """
+    return mld.query_interval / 2 + mld.query_response_interval / 2
+
+
+def expected_join_delay_unsolicited(mipv6: MobileIpv6Config) -> float:
+    """E[join delay] with unsolicited Reports after the move (§4.3.1).
+
+    The delay collapses to the handoff pipeline itself: L2 handoff +
+    movement detection + care-of address configuration, after which the
+    Report and Graft are sub-second.
+    """
+    return (
+        mipv6.handoff_delay
+        + mipv6.movement_detection_delay
+        + mipv6.coa_config_delay
+    )
+
+
+def expected_leave_delay(mld: MldConfig) -> float:
+    """E[leave delay] — departure to membership-timer expiry.
+
+    The membership timer holds T_MLI since the last Report.  The host's
+    last Report preceded its departure by a uniform phase within the
+    query cycle plus its response delay, so on average the timer has
+    T_MLI − T_Query/2 − T_RespDel/2 left.  Defaults: ≈ 192.5 s, bounded
+    by the paper's "max. 260 seconds".
+    """
+    return (
+        mld.multicast_listener_interval
+        - mld.query_interval / 2
+        - mld.query_response_interval / 2
+    )
+
+
+def leave_delay_bounds(mld: MldConfig) -> tuple:
+    """(min, max) possible leave delay.
+
+    Max: the host reported immediately before leaving → full T_MLI.
+    Min: the last report is one full query cycle plus the maximum
+    response delay stale → T_MLI − T_Query − T_RespDel (= Robustness−1
+    query intervals for the RFC relationship).
+    """
+    t_mli = mld.multicast_listener_interval
+    return (
+        t_mli - mld.query_interval - mld.query_response_interval,
+        t_mli,
+    )

@@ -1,0 +1,70 @@
+"""ASCII rendering of multicast distribution trees and tunnels.
+
+Regenerates the pictures of Figures 1–4: which links carry (S,G)
+traffic, through which routers, plus any active home-agent tunnels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["tree_edges", "render_tree", "render_figure"]
+
+
+def tree_edges(tree: Dict[str, List[str]]) -> List[Tuple[str, str]]:
+    """Flatten a per-router forwarding map into sorted (router, link) edges."""
+    edges = []
+    for router, links in sorted(tree.items()):
+        for link in links:
+            edges.append((router, link))
+    return edges
+
+
+def render_tree(
+    tree: Dict[str, List[str]],
+    source_link: str,
+    router_links: Dict[str, List[str]],
+    title: str = "multicast distribution tree",
+) -> str:
+    """BFS layout of the distribution tree starting at the source link.
+
+    ``router_links`` maps each router to all its attached links, so the
+    renderer can tell which attached link a router received from.
+    """
+    lines = [f"{title}:"]
+    visited_links = {source_link}
+    frontier = [source_link]
+    depth = 0
+    lines.append(f"  {source_link}  (source link)")
+    while frontier and depth < 10:
+        depth += 1
+        next_frontier: List[str] = []
+        for link in frontier:
+            for router, out_links in sorted(tree.items()):
+                if link not in router_links.get(router, []):
+                    continue
+                for out in out_links:
+                    if out in visited_links:
+                        continue
+                    visited_links.add(out)
+                    lines.append(f"  {'  ' * depth}{link} --{router}--> {out}")
+                    next_frontier.append(out)
+        frontier = next_frontier
+    return "\n".join(lines)
+
+
+def render_figure(
+    tree: Dict[str, List[str]],
+    source_link: str,
+    router_links: Dict[str, List[str]],
+    tunnels: Optional[List[Tuple[str, str, str]]] = None,
+    title: str = "figure",
+) -> str:
+    """Tree plus tunnel annotations: tunnels are (from, to, label) triples."""
+    out = render_tree(tree, source_link, router_links, title=title)
+    if tunnels:
+        lines = [out, "  tunnels:"]
+        for src, dst, label in tunnels:
+            lines.append(f"    {src} ====> {dst}   ({label})")
+        out = "\n".join(lines)
+    return out

@@ -1,0 +1,86 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Column", "render_table", "fmt_seconds", "fmt_bytes", "fmt_float"]
+
+Formatter = Callable[[Any], str]
+
+
+def fmt_seconds(value: Any) -> str:
+    """Format a delay in adaptive units."""
+    if value is None:
+        return "-"
+    value = float(value)
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def fmt_bytes(value: Any) -> str:
+    if value is None:
+        return "-"
+    value = int(value)
+    if value >= 10_000_000:
+        return f"{value / 1e6:.1f}MB"
+    if value >= 10_000:
+        return f"{value / 1e3:.1f}kB"
+    return f"{value}B"
+
+
+def fmt_float(digits: int = 2) -> Formatter:
+    def fmt(value: Any) -> str:
+        return "-" if value is None else f"{float(value):.{digits}f}"
+
+    return fmt
+
+
+class Column:
+    """One table column: dict key, header, optional formatter."""
+
+    def __init__(self, key: str, header: Optional[str] = None, fmt: Optional[Formatter] = None):
+        self.key = key
+        self.header = header if header is not None else key
+        self.fmt = fmt or (lambda v: "-" if v is None else str(v))
+
+    def render(self, row: Dict[str, Any]) -> str:
+        return self.fmt(row.get(self.key))
+
+
+def render_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Sequence[Union[Column, str, Tuple]],
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Columns may be :class:`Column` objects, plain keys, or
+    ``(key, header[, fmt])`` tuples.
+    """
+    cols: List[Column] = []
+    for spec in columns:
+        if isinstance(spec, Column):
+            cols.append(spec)
+        elif isinstance(spec, str):
+            cols.append(Column(spec))
+        else:
+            cols.append(Column(*spec))
+
+    header = [c.header for c in cols]
+    body = [[c.render(row) for c in cols] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(cols))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Bandwidth time series.
+
+The byte counters in :class:`~repro.net.stats.NetworkStats` are
+cumulative; a :class:`BandwidthRecorder` samples them on a fixed period
+and exposes per-bin byte rates, so experiments can show *when* traffic
+happened — the flood burst after a sender move, the leave-delay plateau
+on an abandoned link, the instant a graft reconnects a branch.
+
+Includes a dependency-free ASCII sparkline/bar renderer for reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net import Network
+
+__all__ = ["BandwidthRecorder", "render_series", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+class BandwidthRecorder:
+    """Samples per-link byte counters every ``period`` seconds."""
+
+    def __init__(self, net: Network, period: float = 1.0) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.net = net
+        self.period = period
+        #: sample times (end of each bin)
+        self.times: List[float] = []
+        #: per-sample snapshots: link -> category -> cumulative bytes
+        self._snapshots: List[Dict[str, Dict[str, int]]] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._snapshots.append(self.net.stats.snapshot())
+        self.times.append(self.net.now)
+        self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule(self) -> None:
+        self.net.sim.schedule(self.period, self._sample, label="bandwidth-recorder")
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        self.times.append(self.net.now)
+        self._snapshots.append(self.net.stats.snapshot())
+        self._schedule()
+
+    # ------------------------------------------------------------------
+    def _bytes_at(self, index: int, link: Optional[str], category: Optional[str]) -> int:
+        snap = self._snapshots[index]
+        links = [link] if link is not None else list(snap)
+        total = 0
+        for name in links:
+            cats = snap.get(name, {})
+            if category is None:
+                total += sum(cats.values())
+            else:
+                total += cats.get(category, 0)
+        return total
+
+    def rate_series(
+        self, link: Optional[str] = None, category: Optional[str] = None
+    ) -> List[Tuple[float, float]]:
+        """(bin end time, bytes/s during the bin) for a link/category.
+
+        ``None`` aggregates over all links / all categories.
+        """
+        series: List[Tuple[float, float]] = []
+        for i in range(1, len(self._snapshots)):
+            dt = self.times[i] - self.times[i - 1]
+            if dt <= 0:
+                continue
+            delta = self._bytes_at(i, link, category) - self._bytes_at(
+                i - 1, link, category
+            )
+            series.append((self.times[i], delta / dt))
+        return series
+
+    def peak_rate(self, link: Optional[str] = None, category: Optional[str] = None) -> float:
+        rates = [r for _, r in self.rate_series(link, category)]
+        return max(rates) if rates else 0.0
+
+    def busy_bins(
+        self,
+        link: Optional[str] = None,
+        category: Optional[str] = None,
+        threshold: float = 0.0,
+    ) -> List[float]:
+        """Bin end times whose rate exceeded ``threshold`` bytes/s."""
+        return [t for t, r in self.rate_series(link, category) if r > threshold]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a series (empty string for no data)."""
+    values = list(values)
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _BLOCKS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int(round(v / top * (len(_BLOCKS) - 1)))
+        out.append(_BLOCKS[max(0, min(idx, len(_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def render_series(
+    series: Sequence[Tuple[float, float]],
+    label: str = "",
+    width: int = 60,
+) -> str:
+    """Sparkline plus scale annotations for one rate series."""
+    if not series:
+        return f"{label}: (no samples)"
+    values = [r for _, r in series]
+    if len(values) > width:
+        # downsample by averaging consecutive chunks
+        chunk = len(values) / width
+        values = [
+            sum(values[int(i * chunk): max(int(i * chunk) + 1, int((i + 1) * chunk))])
+            / max(1, len(values[int(i * chunk): max(int(i * chunk) + 1, int((i + 1) * chunk))]))
+            for i in range(width)
+        ]
+    peak = max(r for _, r in series)
+    t0, t1 = series[0][0], series[-1][0]
+    return (
+        f"{label} [{t0:.0f}s..{t1:.0f}s] peak {peak:.0f} B/s\n  {sparkline(values)}"
+    )

@@ -1,0 +1,176 @@
+"""Command-line experiment runner.
+
+Reproduces any experiment from DESIGN.md §5 without writing code::
+
+    python -m repro list                 # available experiments
+    python -m repro fig1                 # Figure 1 tree
+    python -m repro fig2 --seed 3        # Figure 2 receiver move
+    python -m repro compare              # the full §4.3 comparison
+    python -m repro timers --intervals 10 25 60 125
+    python -m repro scaling              # HA load sweeps (§4.3.2)
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .analysis import fmt_seconds, render_figure
+from .core import (
+    BIDIRECTIONAL_TUNNEL,
+    LOCAL_MEMBERSHIP,
+    ROUTER_LINKS,
+    PaperScenario,
+    ScenarioConfig,
+    render_scaling,
+    render_table1,
+    run_full_comparison,
+    run_ha_load_vs_groups,
+    run_ha_load_vs_mobiles,
+    run_timer_sweep,
+)
+from .core.report import generate_report
+from .core.timer_optimization import render_sweep
+
+__all__ = ["main"]
+
+
+def _fig1(args: argparse.Namespace) -> None:
+    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=LOCAL_MEMBERSHIP))
+    sc.converge()
+    print(render_figure(sc.current_tree(), "L1", ROUTER_LINKS,
+                        title="Figure 1 — initial distribution tree"))
+    print(f"asserts: {sc.metrics.assert_count()}  prunes: {sc.metrics.prune_count()}")
+
+
+def _fig2(args: argparse.Namespace) -> None:
+    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=LOCAL_MEMBERSHIP))
+    sc.converge()
+    sc.move("R3", "L6", at=40.0)
+    sc.run_until(40.0 + 260.0 + 30.0)
+    print(render_figure(sc.current_tree(), "L1", ROUTER_LINKS,
+                        title="Figure 2 — after R3 moved Link4->Link6"))
+    print(f"join delay:  {fmt_seconds(sc.join_delay('R3', 40.0))}")
+    print(f"leave delay: {fmt_seconds(sc.leave_delay('L4', 40.0))} (bound 260 s)")
+
+
+def _fig3(args: argparse.Namespace) -> None:
+    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=BIDIRECTIONAL_TUNNEL))
+    sc.converge()
+    sc.move("R3", "L1", at=40.0)
+    sc.run_until(90.0)
+    d = sc.paper.router("D")
+    print(render_figure(
+        sc.current_tree(), "L1", ROUTER_LINKS,
+        tunnels=[("Router D", f"R3 @ {sc.paper.host('R3').care_of_address}",
+                  "HA->MH multicast tunnel")],
+        title="Figure 3 — R3 via home-agent tunnel",
+    ))
+    print(f"tunneled datagrams: {d.tunneled_to_mobiles}  "
+          f"on-behalf groups: {[str(g) for g in d.groups_on_behalf()]}")
+
+
+def _fig4(args: argparse.Namespace) -> None:
+    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=BIDIRECTIONAL_TUNNEL))
+    sc.converge()
+    sc.move("S", "L6", at=40.0)
+    sc.run_until(100.0)
+    print(render_figure(
+        sc.current_tree(), "L1", ROUTER_LINKS,
+        tunnels=[(f"S @ {sc.paper.sender.care_of_address}", "Router A",
+                  "MH->HA multicast tunnel")],
+        title="Figure 4 — S via reverse tunnel (tree unchanged)",
+    ))
+    print(f"reverse-tunneled: {sc.paper.router('A').reverse_tunneled}")
+
+
+def _table1(args: argparse.Namespace) -> None:
+    print(render_table1())
+
+
+def _compare(args: argparse.Namespace) -> None:
+    report = run_full_comparison(seed=args.seed)
+    print(report.render())
+    sys.exit(0 if report.all_claims_hold else 1)
+
+
+def _timers(args: argparse.Namespace) -> None:
+    points = run_timer_sweep(
+        query_intervals=tuple(args.intervals),
+        seeds=tuple(range(args.repeats)),
+    )
+    print(render_sweep(points))
+
+
+def _report(args: argparse.Namespace) -> None:
+    text = generate_report(seed=args.seed)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+
+
+def _scaling(args: argparse.Namespace) -> None:
+    print(render_scaling(run_ha_load_vs_mobiles(counts=(1, 2, 4, 8)), "mobiles"))
+    print()
+    print(render_scaling(run_ha_load_vs_groups(counts=(1, 2, 4)), "groups"))
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "table1": _table1,
+    "compare": _compare,
+    "timers": _timers,
+    "scaling": _scaling,
+    "report": _report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Interoperation of Mobile "
+        "IPv6 and PIM Dense Mode' (ICPP 2000).",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, help_text in (
+        ("fig1", "Figure 1: initial distribution tree"),
+        ("fig2", "Figure 2: mobile receiver, local membership"),
+        ("fig3", "Figure 3: mobile receiver via HA tunnel"),
+        ("fig4", "Figure 4: mobile sender via HA tunnel"),
+        ("table1", "Table 1: the four approaches"),
+        ("compare", "full §4.3 comparison with claim checks"),
+        ("scaling", "HA load scaling sweeps (§4.3.2)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=0)
+    report = sub.add_parser("report", help="run everything, emit a Markdown report")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--output", "-o", default=None)
+    timers = sub.add_parser("timers", help="§4.4 MLD timer sweep")
+    timers.add_argument("--seed", type=int, default=0)
+    timers.add_argument("--intervals", type=float, nargs="+",
+                        default=[10.0, 25.0, 60.0, 125.0])
+    timers.add_argument("--repeats", type=int, default=3)
+    return parser
+
+
+def main(argv=None) -> None:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("experiments:", ", ".join(COMMANDS))
+        return
+    COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

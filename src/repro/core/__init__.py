@@ -1,0 +1,72 @@
+"""The paper's contribution: delivery strategies, scenarios, comparison."""
+
+from .adaptive import AdaptiveStrategyController
+from .comparison import (
+    ComparisonReport,
+    receiver_mobility_run,
+    run_full_comparison,
+    sender_mobility_run,
+)
+from .metrics import ScenarioMetrics, StatsSnapshot, per_hop_latency
+from .paper_topology import (
+    HOME_AGENT_OF_LINK,
+    HOST_HOMES,
+    LINK_PREFIXES,
+    ROUTER_LINKS,
+    PaperNetwork,
+    build_paper_network,
+)
+from .report import generate_report
+from .scaling import (
+    render_scaling,
+    run_ha_load_vs_groups,
+    run_ha_load_vs_mobiles,
+    run_ha_load_vs_rate,
+)
+from .scenario import PaperScenario, ScenarioConfig
+from .strategies import (
+    ALL_APPROACHES,
+    BIDIRECTIONAL_TUNNEL,
+    LOCAL_MEMBERSHIP,
+    TUNNEL_HA_TO_MH,
+    TUNNEL_MH_TO_HA,
+    Approach,
+    approach_for,
+    render_table1,
+)
+from .timer_optimization import TimerSweepPoint, render_sweep, run_timer_sweep
+
+__all__ = [
+    "ALL_APPROACHES",
+    "AdaptiveStrategyController",
+    "HOME_AGENT_OF_LINK",
+    "Approach",
+    "BIDIRECTIONAL_TUNNEL",
+    "ComparisonReport",
+    "HOST_HOMES",
+    "LINK_PREFIXES",
+    "LOCAL_MEMBERSHIP",
+    "PaperNetwork",
+    "PaperScenario",
+    "ROUTER_LINKS",
+    "ScenarioConfig",
+    "ScenarioMetrics",
+    "StatsSnapshot",
+    "TUNNEL_HA_TO_MH",
+    "TUNNEL_MH_TO_HA",
+    "TimerSweepPoint",
+    "approach_for",
+    "build_paper_network",
+    "generate_report",
+    "per_hop_latency",
+    "receiver_mobility_run",
+    "render_scaling",
+    "render_sweep",
+    "render_table1",
+    "run_full_comparison",
+    "run_ha_load_vs_groups",
+    "run_ha_load_vs_mobiles",
+    "run_ha_load_vs_rate",
+    "run_timer_sweep",
+    "sender_mobility_run",
+]

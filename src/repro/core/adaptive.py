@@ -1,0 +1,104 @@
+"""Adaptive delivery-strategy selection.
+
+The paper concludes (§5) that no single approach wins everywhere:
+
+* local group membership "is not a good solution for highly mobile
+  hosts" (every move costs a join delay / a tree rebuild), while
+* "a bi-directional tunnel is interesting for highly mobile hosts,
+  since no significant join and leave delay occurs" — at the price of
+  suboptimal routing and home-agent load.
+
+:class:`AdaptiveStrategyController` operationalizes that advice: it
+watches a mobile node's observed handoff rate over a sliding window and
+switches the node's delivery modes at runtime — local membership while
+the node is sedentary, home-agent tunneling once it becomes highly
+mobile, and back again when it settles down (with hysteresis so it
+doesn't flap).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..mipv6 import DeliveryMode, MobileNode
+from ..sim import PeriodicTimer
+
+__all__ = ["AdaptiveStrategyController"]
+
+
+class AdaptiveStrategyController:
+    """Switches a mobile node's strategy based on its mobility rate."""
+
+    def __init__(
+        self,
+        node: MobileNode,
+        window: float = 300.0,
+        high_rate: float = 2.0,
+        low_rate: float = 0.5,
+        check_interval: float = 10.0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        window:
+            Sliding window over which moves are counted (s).
+        high_rate / low_rate:
+            Moves per ``window`` above which the node switches to the
+            bi-directional tunnel, and below which it returns to local
+            membership.  ``low_rate < high_rate`` gives hysteresis.
+        """
+        if low_rate >= high_rate:
+            raise ValueError("low_rate must be below high_rate (hysteresis)")
+        self.node = node
+        self.window = window
+        self.high_rate = high_rate
+        self.low_rate = low_rate
+        self._move_times: Deque[float] = deque()
+        self.switches = 0
+        self._timer = PeriodicTimer(
+            node.sim, self._evaluate, period=check_interval,
+            name=f"{node.name}.adaptive",
+        )
+        # observe moves by wrapping the node's move_to
+        self._orig_move_to = node.move_to
+        node.move_to = self._observing_move_to  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def _observing_move_to(self, link) -> None:
+        if link is not self.node.current_link:
+            self._move_times.append(self.node.sim.now)
+        self._orig_move_to(link)
+
+    # ------------------------------------------------------------------
+    @property
+    def current_rate(self) -> float:
+        """Moves within the sliding window."""
+        now = self.node.sim.now
+        while self._move_times and self._move_times[0] < now - self.window:
+            self._move_times.popleft()
+        return float(len(self._move_times))
+
+    def _evaluate(self) -> None:
+        rate = self.current_rate
+        tunneling = self.node.recv_mode is DeliveryMode.HA_TUNNEL
+        if not tunneling and rate >= self.high_rate:
+            self._switch(DeliveryMode.HA_TUNNEL, rate)
+        elif tunneling and rate <= self.low_rate:
+            self._switch(DeliveryMode.LOCAL, rate)
+
+    def _switch(self, mode: DeliveryMode, rate: float) -> None:
+        self.switches += 1
+        self.node.trace(
+            "mobility",
+            event="adaptive-switch",
+            mode=mode.value,
+            window_moves=rate,
+        )
+        self.node.set_delivery_modes(recv_mode=mode, send_mode=mode)

@@ -1,0 +1,210 @@
+"""The paper's evaluation network (Figure 1).
+
+Six links, five routers (each a PIM-DM router *and* home agent, §4.2),
+four hosts:
+
+* Link 1: Sender S, Receiver 1, Router A          (HA of Link 1: A)
+* Link 2: Router A, Router B, Router C, Receiver 2 (HA of Link 2: B)
+* Link 3: Router B, Router C, Router D, Router E   (HA of Link 3: C)
+* Link 4: Router D, Receiver 3                     (HA of Link 4: D)
+* Link 5: Router D                                 (HA of Link 5: D)
+* Link 6: Router E                                 (HA of Link 6: E)
+
+Routers B and C attach in parallel between Links 2 and 3 — the pair
+whose parallel forwarding exercises the PIM-DM assert election (§3.1).
+See DESIGN.md §3 for the inference argument behind this reading of
+Figure 1.
+
+Expected initial distribution tree for (S on Link 1, G), matching the
+figure: Link 1 → A → Link 2 → (B‖C, assert-elected) → Link 3 → D →
+Link 4; Links 5 and 6 stay off-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..mipv6 import DeliveryMode, HomeAgent, MobileIpv6Config, MobileNode
+from ..mld import MldConfig
+from ..net import Address, Link, Network, make_multicast_group
+from ..pimdm import PimDmConfig
+
+__all__ = [
+    "HOME_AGENT_OF_LINK",
+    "LINK_PREFIXES",
+    "PaperNetwork",
+    "ROUTER_LINKS",
+    "build_paper_network",
+]
+
+#: Per-link IPv6 prefixes (Link i gets 2001:db8:i::/64).
+LINK_PREFIXES: Dict[str, str] = {
+    f"L{i}": f"2001:db8:{i}::/64" for i in range(1, 7)
+}
+
+#: Router attachment map inferred from Figure 1 (see module docstring).
+ROUTER_LINKS: Dict[str, List[str]] = {
+    "A": ["L1", "L2"],
+    "B": ["L2", "L3"],
+    "C": ["L2", "L3"],
+    "D": ["L3", "L4", "L5"],
+    "E": ["L3", "L6"],
+}
+
+#: Interface identifiers for the routers (A=1 ... E=5) on every link.
+ROUTER_HOST_IDS: Dict[str, int] = {"A": 1, "B": 2, "C": 3, "D": 4, "E": 5}
+
+#: Home agent of each link (paper §4.2: "Router A is home agent on
+#: Link 1, Router B on Link 2, Router C on Link 3, Router D on Link 4
+#: and 5, and Router E on Link 6").
+HOME_AGENT_OF_LINK: Dict[str, str] = {
+    "L1": "A",
+    "L2": "B",
+    "L3": "C",
+    "L4": "D",
+    "L5": "D",
+    "L6": "E",
+}
+
+#: (home link, home agent, interface id) for each host of Figure 1.
+HOST_HOMES: Dict[str, tuple] = {
+    "S": ("L1", "A", 100),
+    "R1": ("L1", "A", 101),
+    "R2": ("L2", "B", 102),
+    "R3": ("L4", "D", 103),
+}
+
+
+@dataclass
+class PaperNetwork:
+    """Handles to everything in the built Figure 1 network."""
+
+    net: Network
+    group: Address
+    routers: Dict[str, HomeAgent] = field(default_factory=dict)
+    hosts: Dict[str, MobileNode] = field(default_factory=dict)
+
+    # -- sugar ----------------------------------------------------------
+    def link(self, name: str) -> Link:
+        return self.net.link(name)
+
+    def router(self, name: str) -> HomeAgent:
+        return self.routers[name]
+
+    def host(self, name: str) -> MobileNode:
+        return self.hosts[name]
+
+    @property
+    def sender(self) -> MobileNode:
+        return self.hosts["S"]
+
+    @property
+    def receivers(self) -> List[MobileNode]:
+        return [self.hosts[n] for n in ("R1", "R2", "R3")]
+
+    def add_mobile_host(
+        self,
+        name: str,
+        home_link_name: str,
+        host_id: int,
+        recv_mode: DeliveryMode = DeliveryMode.LOCAL,
+        send_mode: DeliveryMode = DeliveryMode.LOCAL,
+        mld_config: Optional[MldConfig] = None,
+        mipv6_config: Optional[MobileIpv6Config] = None,
+    ) -> MobileNode:
+        """Add an extra mobile host homed on ``home_link_name``.
+
+        The home agent is the link's designated home agent per the paper's
+        assignment (A on L1, B on L2, C on L3, D on L4/L5, E on L6).  Used
+        by the system-load scaling experiments (§4.3.2: "the system load
+        of a single home agent increases with the number of mobile hosts
+        it must support").
+        """
+        ha_name = HOME_AGENT_OF_LINK[home_link_name]
+        home_link = self.net.link(home_link_name)
+        ha = self.routers[ha_name]
+        host = MobileNode(
+            self.net.sim,
+            name,
+            tracer=self.net.tracer,
+            rng=self.net.rng,
+            home_link=home_link,
+            home_agent_address=ha.address_on(home_link),
+            host_id=host_id,
+            config=mipv6_config,
+            mld_config=mld_config,
+            recv_mode=recv_mode,
+            send_mode=send_mode,
+        )
+        self.net.register_node(host)
+        self.hosts[name] = host
+        return host
+
+    def tree_links(self, source: Address, group: Address) -> Dict[str, List[str]]:
+        """Per-router forwarding links — the live distribution tree."""
+        return {
+            name: router.pim.forwarding_links(source, group)
+            for name, router in sorted(self.routers.items())
+        }
+
+
+def build_paper_network(
+    seed: int = 0,
+    mld_config: Optional[MldConfig] = None,
+    pim_config: Optional[PimDmConfig] = None,
+    mipv6_config: Optional[MobileIpv6Config] = None,
+    recv_mode: DeliveryMode = DeliveryMode.LOCAL,
+    send_mode: DeliveryMode = DeliveryMode.LOCAL,
+    link_delay: float = 0.5e-3,
+    link_bandwidth_bps: float = 100e6,
+) -> PaperNetwork:
+    """Construct the Figure 1 network with all protocol engines wired up.
+
+    ``recv_mode``/``send_mode`` select the multicast delivery approach
+    every mobile host will use while away from home (Table 1 axes).
+    """
+    net = Network(seed=seed)
+    group = make_multicast_group(1)
+    paper = PaperNetwork(net=net, group=group)
+
+    for name, prefix in LINK_PREFIXES.items():
+        net.add_link(name, prefix, delay=link_delay, bandwidth_bps=link_bandwidth_bps)
+
+    for name, link_names in ROUTER_LINKS.items():
+        router = HomeAgent(
+            net.sim,
+            name,
+            tracer=net.tracer,
+            rng=net.rng,
+            pim_config=pim_config,
+            mld_config=mld_config,
+            mipv6_config=mipv6_config,
+        )
+        for link_name in link_names:
+            link = net.link(link_name)
+            router.attach_to(link, link.prefix.address_for_host(ROUTER_HOST_IDS[name]))
+        net.register_node(router)
+        net.on_start(router.start)
+        paper.routers[name] = router
+
+    for name, (home_link_name, ha_name, host_id) in HOST_HOMES.items():
+        home_link = net.link(home_link_name)
+        ha = paper.routers[ha_name]
+        host = MobileNode(
+            net.sim,
+            name,
+            tracer=net.tracer,
+            rng=net.rng,
+            home_link=home_link,
+            home_agent_address=ha.address_on(home_link),
+            host_id=host_id,
+            config=mipv6_config,
+            mld_config=mld_config,
+            recv_mode=recv_mode,
+            send_mode=send_mode,
+        )
+        net.register_node(host)
+        paper.hosts[name] = host
+
+    return paper

@@ -1,0 +1,159 @@
+"""Home-agent load scaling (paper §4.3.2).
+
+"The system load of a single home agent increases with the number of
+mobile hosts it must support, the number of multicast groups its mobile
+hosts need to receive, and the amount of traffic in the groups."
+
+Two sweeps on the Figure 1 network quantify this for Router D (the home
+agent of Link 4):
+
+* :func:`run_ha_load_vs_mobiles` — N mobile receivers homed on Link 4,
+  all away on Link 6 behind HA tunnels; measures D's encapsulation
+  count (one tunnel copy per datagram per mobile — the unicast
+  replication the paper criticizes),
+* :func:`run_ha_load_vs_groups` — one mobile receiver subscribed to G
+  groups, each fed by its own CBR flow,
+* :func:`run_ha_load_vs_rate` — one mobile, one group, varying source
+  packet rate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from ..analysis.tables import fmt_bytes, render_table
+from ..mipv6 import DeliveryMode
+from ..net import Address, make_multicast_group
+from ..workloads import CbrSource
+from .scenario import PaperScenario, ScenarioConfig
+from .strategies import BIDIRECTIONAL_TUNNEL
+
+__all__ = [
+    "run_ha_load_vs_mobiles",
+    "run_ha_load_vs_groups",
+    "run_ha_load_vs_rate",
+    "render_scaling",
+]
+
+
+def run_ha_load_vs_mobiles(
+    counts: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 0,
+    measure_window: float = 30.0,
+) -> List[Dict[str, Any]]:
+    """HA encapsulation load vs. number of mobile hosts it serves."""
+    rows = []
+    for n in counts:
+        sc = PaperScenario(ScenarioConfig(seed=seed, approach=BIDIRECTIONAL_TUNNEL))
+        extras = [
+            sc.paper.add_mobile_host(
+                f"M{k}", "L4", host_id=110 + k,
+                recv_mode=DeliveryMode.HA_TUNNEL, send_mode=DeliveryMode.HA_TUNNEL,
+            )
+            for k in range(n)
+        ]
+        sc.converge()
+        for host in extras:
+            host.join_group(sc.group)
+        sc.run_for(2.0)
+        for k, host in enumerate(extras):
+            sc.net.sim.schedule_at(
+                40.0 + 0.1 * k, host.move_to, sc.paper.link("L6")
+            )
+        sc.run_until(45.0)
+        d = sc.paper.router("D")
+        base_encap = d.load["encapsulations"]
+        base_tunneled = d.tunneled_to_mobiles
+        sc.run_for(measure_window)
+        rows.append(
+            {
+                "mobiles": n,
+                "ha_encapsulations": d.load["encapsulations"] - base_encap,
+                "tunneled_datagrams": d.tunneled_to_mobiles - base_tunneled,
+                "bindings": len(d.binding_cache),
+                "tunnel_overhead_bytes": sc.metrics.snapshot().total("tunnel_overhead"),
+            }
+        )
+    return rows
+
+
+def run_ha_load_vs_groups(
+    counts: Sequence[int] = (1, 2, 4),
+    seed: int = 0,
+    measure_window: float = 30.0,
+    packet_interval: float = 0.1,
+) -> List[Dict[str, Any]]:
+    """HA encapsulation load vs. number of subscribed groups."""
+    rows = []
+    for n in counts:
+        sc = PaperScenario(
+            ScenarioConfig(
+                seed=seed, approach=BIDIRECTIONAL_TUNNEL,
+                packet_interval=packet_interval,
+            )
+        )
+        groups = [make_multicast_group(10 + k) for k in range(n)]
+        sources = [
+            CbrSource(sc.paper.sender, g, packet_interval=packet_interval,
+                      flow=f"flow-{k}")
+            for k, g in enumerate(groups)
+        ]
+        mobile = sc.paper.add_mobile_host(
+            "MG", "L4", host_id=120,
+            recv_mode=DeliveryMode.HA_TUNNEL, send_mode=DeliveryMode.HA_TUNNEL,
+        )
+        sc.converge()
+        for g in groups:
+            mobile.join_group(g)
+        for src in sources:
+            src.start()
+        sc.move("MG", "L6", at=40.0)
+        sc.run_until(45.0)
+        d = sc.paper.router("D")
+        base = d.load["encapsulations"]
+        sc.run_for(measure_window)
+        rows.append(
+            {
+                "groups": n,
+                "ha_encapsulations": d.load["encapsulations"] - base,
+                "groups_on_behalf": len(d.groups_on_behalf()),
+            }
+        )
+    return rows
+
+
+def run_ha_load_vs_rate(
+    packet_intervals: Sequence[float] = (0.2, 0.1, 0.05),
+    seed: int = 0,
+    measure_window: float = 30.0,
+) -> List[Dict[str, Any]]:
+    """HA encapsulation load vs. source traffic rate."""
+    rows = []
+    for interval in packet_intervals:
+        sc = PaperScenario(
+            ScenarioConfig(
+                seed=seed, approach=BIDIRECTIONAL_TUNNEL, packet_interval=interval
+            )
+        )
+        sc.converge()
+        sc.move("R3", "L6", at=40.0)
+        sc.run_until(45.0)
+        d = sc.paper.router("D")
+        base = d.load["encapsulations"]
+        sc.run_for(measure_window)
+        rows.append(
+            {
+                "packets_per_s": round(1.0 / interval, 1),
+                "ha_encapsulations": d.load["encapsulations"] - base,
+            }
+        )
+    return rows
+
+
+def render_scaling(rows: List[Dict[str, Any]], key: str) -> str:
+    columns = [(key, key)] + [
+        (c, c, fmt_bytes if "bytes" in c else None)
+        for c in rows[0]
+        if c != key
+    ]
+    return render_table(rows, columns, title=f"HA load vs {key} (paper §4.3.2)")

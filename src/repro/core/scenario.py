@@ -1,0 +1,142 @@
+"""Scenario harness on the paper's Figure 1 network.
+
+:class:`PaperScenario` wires the Figure 1 topology with receiver
+instrumentation and a CBR source at Sender S, provides the canned
+phases every experiment shares (boot, application joins, traffic
+start, tree convergence), and exposes the moves the paper analyzes
+(Receiver 3 to Link 6 / Link 1, Sender S to Link 6 / Link 4, ...).
+
+Timeline convention (defaults):
+
+=========  ===========================================================
+t = 0      protocol boot: PIM Hellos, MLD startup queries
+t = 1      application joins (unsolicited Reports announce members)
+t = 20     Sender S starts its CBR flow; flood-and-prune converges
+t = 30     ``converge()`` returns; experiments schedule moves after
+=========  ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..mipv6 import MobileIpv6Config
+from ..mld import MldConfig
+from ..net import Address
+from ..pimdm import PimDmConfig
+from ..workloads import CbrSource, ReceiverApp
+from .metrics import ScenarioMetrics
+from .paper_topology import PaperNetwork, build_paper_network
+from .strategies import LOCAL_MEMBERSHIP, Approach
+
+__all__ = ["ScenarioConfig", "PaperScenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs shared by all Figure 1 experiments."""
+
+    approach: Approach = LOCAL_MEMBERSHIP
+    seed: int = 0
+    mld: Optional[MldConfig] = None
+    pim: Optional[PimDmConfig] = None
+    mipv6: Optional[MobileIpv6Config] = None
+    #: CBR source parameters (20 pkt/s of 1000-byte payloads ≈ 160 kbit/s).
+    packet_interval: float = 0.05
+    payload_bytes: int = 1000
+    join_time: float = 1.0
+    traffic_start: float = 20.0
+    converge_until: float = 30.0
+    link_delay: float = 0.5e-3
+    link_bandwidth_bps: float = 100e6
+
+
+class PaperScenario:
+    """One simulation run over the Figure 1 network."""
+
+    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+        self.config = config or ScenarioConfig()
+        cfg = self.config
+        self.paper: PaperNetwork = build_paper_network(
+            seed=cfg.seed,
+            mld_config=cfg.mld,
+            pim_config=cfg.pim,
+            mipv6_config=cfg.mipv6,
+            recv_mode=cfg.approach.recv_mode,
+            send_mode=cfg.approach.send_mode,
+            link_delay=cfg.link_delay,
+            link_bandwidth_bps=cfg.link_bandwidth_bps,
+        )
+        self.net = self.paper.net
+        self.group: Address = self.paper.group
+        self.metrics = ScenarioMetrics(self.net)
+        self.apps: Dict[str, ReceiverApp] = {
+            name: ReceiverApp(self.paper.hosts[name]) for name in ("R1", "R2", "R3")
+        }
+        self.source = CbrSource(
+            self.paper.sender,
+            self.group,
+            packet_interval=cfg.packet_interval,
+            payload_bytes=cfg.payload_bytes,
+            flow="S-flow",
+        )
+        self._converged = False
+
+    # ------------------------------------------------------------------
+    # canned phases
+    # ------------------------------------------------------------------
+    def converge(self) -> None:
+        """Boot protocols, join receivers, start traffic, build the tree."""
+        if self._converged:
+            return
+        self._converged = True
+        cfg = self.config
+        self.net.start()
+        for name in ("R1", "R2", "R3"):
+            host = self.paper.hosts[name]
+            self.net.sim.schedule_at(
+                cfg.join_time, host.join_group, self.group, label=f"{name}.join"
+            )
+        self.source.start(at=cfg.traffic_start)
+        self.net.run(until=cfg.converge_until)
+
+    def run_until(self, time: float) -> None:
+        self.net.run(until=time)
+
+    def run_for(self, duration: float) -> None:
+        self.net.run(until=self.net.now + duration)
+
+    @property
+    def now(self) -> float:
+        return self.net.now
+
+    # ------------------------------------------------------------------
+    # moves
+    # ------------------------------------------------------------------
+    def move(self, host_name: str, link_name: str, at: Optional[float] = None) -> float:
+        """Schedule (or perform) a host move; returns the move time."""
+        host = self.paper.hosts[host_name]
+        link = self.paper.link(link_name)
+        when = at if at is not None else self.net.now
+        if when <= self.net.now:
+            host.move_to(link)
+            return self.net.now
+        self.net.sim.schedule_at(when, host.move_to, link, label=f"{host_name}.move")
+        return when
+
+    # ------------------------------------------------------------------
+    # common result probes
+    # ------------------------------------------------------------------
+    def current_tree(self) -> Dict[str, list]:
+        """Forwarding links per router for the sender's original flow."""
+        return self.paper.tree_links(self.paper.sender.home_address, self.group)
+
+    def tree_for_source(self, source: Address) -> Dict[str, list]:
+        return self.paper.tree_links(source, self.group)
+
+    def join_delay(self, receiver: str, move_time: float) -> Optional[float]:
+        return self.apps[receiver].join_delay(move_time)
+
+    def leave_delay(self, link_name: str, move_time: float) -> Optional[float]:
+        return self.metrics.leave_delay(link_name, self.group, move_time)

@@ -1,0 +1,127 @@
+"""The four multicast delivery approaches (paper §4.2.3, Table 1).
+
+Combining the receive mechanism (A: local membership on the foreign
+link / B: via the home agent) with the send mechanism (A: local
+sending / B: tunnel to the home agent) yields the four approaches the
+paper compares:
+
+====================================  ===========  ===========
+approach                              receive      send
+====================================  ===========  ===========
+1. Local group membership             local        local
+2. Bi-directional tunnel              HA tunnel    HA tunnel
+3. Uni-directional tunnel MH → HA     local        HA tunnel
+4. Uni-directional tunnel HA → MH     HA tunnel    local
+====================================  ===========  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..mipv6 import DeliveryMode
+
+__all__ = [
+    "Approach",
+    "LOCAL_MEMBERSHIP",
+    "BIDIRECTIONAL_TUNNEL",
+    "TUNNEL_MH_TO_HA",
+    "TUNNEL_HA_TO_MH",
+    "ALL_APPROACHES",
+    "approach_for",
+    "render_table1",
+]
+
+
+@dataclass(frozen=True)
+class Approach:
+    """One cell of Table 1."""
+
+    key: str
+    number: int
+    title: str
+    recv_mode: DeliveryMode
+    send_mode: DeliveryMode
+    #: Paper figure illustrating the mechanism (where one exists).
+    figures: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"{self.number}. {self.title} "
+            f"(recv={self.recv_mode.value}, send={self.send_mode.value})"
+        )
+
+
+LOCAL_MEMBERSHIP = Approach(
+    key="local",
+    number=1,
+    title="Local group membership on foreign link",
+    recv_mode=DeliveryMode.LOCAL,
+    send_mode=DeliveryMode.LOCAL,
+    figures=("Figure 2",),
+)
+
+BIDIRECTIONAL_TUNNEL = Approach(
+    key="bidir",
+    number=2,
+    title="Bi-directional tunnel between home agent and mobile host",
+    recv_mode=DeliveryMode.HA_TUNNEL,
+    send_mode=DeliveryMode.HA_TUNNEL,
+    figures=("Figure 3", "Figure 4"),
+)
+
+TUNNEL_MH_TO_HA = Approach(
+    key="ut-mh-ha",
+    number=3,
+    title="Uni-directional tunnel from mobile host to home agent",
+    recv_mode=DeliveryMode.LOCAL,
+    send_mode=DeliveryMode.HA_TUNNEL,
+    figures=("Figure 2", "Figure 4"),
+)
+
+TUNNEL_HA_TO_MH = Approach(
+    key="ut-ha-mh",
+    number=4,
+    title="Uni-directional tunnel from home agent to mobile host",
+    recv_mode=DeliveryMode.HA_TUNNEL,
+    send_mode=DeliveryMode.LOCAL,
+    figures=("Figure 3",),
+)
+
+ALL_APPROACHES: List[Approach] = [
+    LOCAL_MEMBERSHIP,
+    BIDIRECTIONAL_TUNNEL,
+    TUNNEL_MH_TO_HA,
+    TUNNEL_HA_TO_MH,
+]
+
+_BY_MODES: Dict[Tuple[DeliveryMode, DeliveryMode], Approach] = {
+    (a.send_mode, a.recv_mode): a for a in ALL_APPROACHES
+}
+
+
+def approach_for(send_mode: DeliveryMode, recv_mode: DeliveryMode) -> Approach:
+    """Table 1 lookup: (send, receive) mechanism pair -> approach."""
+    return _BY_MODES[(send_mode, recv_mode)]
+
+
+def render_table1() -> str:
+    """ASCII rendering of Table 1 (receive across, send down)."""
+    recv_modes = [DeliveryMode.LOCAL, DeliveryMode.HA_TUNNEL]
+    send_modes = [DeliveryMode.LOCAL, DeliveryMode.HA_TUNNEL]
+    header = ["send \\ receive", "A: local", "B: via tunnel"]
+    rows = [header]
+    labels = {DeliveryMode.LOCAL: "A: local", DeliveryMode.HA_TUNNEL: "B: via tunnel"}
+    for send in send_modes:
+        row = [labels[send]]
+        for recv in recv_modes:
+            row.append(approach_for(send, recv).title)
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = []
+    for r, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("-" * (sum(widths) + 4))
+    return "\n".join(lines)

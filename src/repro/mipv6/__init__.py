@@ -1,0 +1,38 @@
+"""Mobile IPv6 (draft-ietf-mobileip-ipv6-10): mobile nodes, home agents,
+binding management, and the paper's Multicast Group List Sub-Option."""
+
+from .binding import BindingCache, BindingCacheEntry
+from .config import DeliveryMode, MobileIpv6Config
+from .correspondent import CorrespondentHost
+from .home_agent import HomeAgent
+from .mobile_node import MobileNode
+from .options import (
+    AlternateCareOfAddressSubOption,
+    BindingAckOption,
+    BindingRequestOption,
+    BindingUpdateOption,
+    HomeAddressOption,
+    MulticastGroupListSubOption,
+    SubOption,
+    UniqueIdentifierSubOption,
+    parse_sub_options,
+)
+
+__all__ = [
+    "AlternateCareOfAddressSubOption",
+    "BindingAckOption",
+    "BindingCache",
+    "BindingCacheEntry",
+    "BindingRequestOption",
+    "BindingUpdateOption",
+    "CorrespondentHost",
+    "DeliveryMode",
+    "HomeAddressOption",
+    "HomeAgent",
+    "MobileIpv6Config",
+    "MobileNode",
+    "MulticastGroupListSubOption",
+    "SubOption",
+    "UniqueIdentifierSubOption",
+    "parse_sub_options",
+]

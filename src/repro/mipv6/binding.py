@@ -1,0 +1,125 @@
+"""Binding cache (home-agent side) and binding update list (mobile side).
+
+The home agent "stores the information about the current care-of
+address of the mobile host in its binding cache and acts as a proxy for
+the mobile host" (paper §2).  The paper's extension (§4.3.2) adds the
+mobile host's multicast group list to the cache entry, so the home
+agent can subscribe on the host's behalf and tunnel matching group
+traffic.
+
+Entries expire after the binding lifetime (default 256 s); expiry also
+tears down the group subscriptions held on behalf of the host — the
+failure mode the paper points out when extended Binding Updates stop
+arriving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from ..net.addressing import Address
+from ..sim import Simulator, Timer
+
+__all__ = ["BindingCacheEntry", "BindingCache"]
+
+
+@dataclass
+class BindingCacheEntry:
+    """One home-agent binding: home address -> care-of address (+groups)."""
+
+    home_address: Address
+    care_of_address: Address
+    lifetime: float
+    sequence: int = 0
+    #: Multicast groups subscribed on behalf of this mobile node.
+    groups: Set[Address] = field(default_factory=set)
+    timer: Optional[Timer] = None
+    registered_at: float = 0.0
+
+
+class BindingCache:
+    """The home agent's binding cache with lifetime management."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        on_expired: Optional[Callable[[BindingCacheEntry], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self._entries: Dict[Address, BindingCacheEntry] = {}
+        self._on_expired = on_expired
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        home_address: Address,
+        care_of_address: Address,
+        lifetime: float,
+        sequence: int = 0,
+        groups: Optional[List[Address]] = None,
+    ) -> BindingCacheEntry:
+        """Create or refresh a binding (Binding Update processing)."""
+        home_address = Address(home_address)
+        entry = self._entries.get(home_address)
+        if entry is None:
+            entry = BindingCacheEntry(
+                home_address=home_address,
+                care_of_address=Address(care_of_address),
+                lifetime=lifetime,
+                sequence=sequence,
+                registered_at=self.sim.now,
+            )
+            entry.timer = Timer(
+                self.sim,
+                lambda e=entry: self._expire(e),
+                name=f"binding.{home_address}",
+            )
+            self._entries[home_address] = entry
+        else:
+            if sequence < entry.sequence:
+                return entry  # stale update
+            entry.care_of_address = Address(care_of_address)
+            entry.lifetime = lifetime
+            entry.sequence = sequence
+        if groups is not None:
+            entry.groups = {Address(g) for g in groups}
+        entry.timer.start(lifetime)
+        return entry
+
+    def remove(self, home_address: Address) -> Optional[BindingCacheEntry]:
+        """Explicit deregistration (Binding Update with lifetime 0)."""
+        entry = self._entries.pop(Address(home_address), None)
+        if entry is not None and entry.timer is not None:
+            entry.timer.stop()
+        return entry
+
+    def _expire(self, entry: BindingCacheEntry) -> None:
+        self._entries.pop(entry.home_address, None)
+        if self._on_expired is not None:
+            self._on_expired(entry)
+
+    # ------------------------------------------------------------------
+    def get(self, home_address: Address) -> Optional[BindingCacheEntry]:
+        return self._entries.get(Address(home_address))
+
+    def __contains__(self, home_address: Address) -> bool:
+        return Address(home_address) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[BindingCacheEntry]:
+        return list(self._entries.values())
+
+    def subscribers_of(self, group: Address) -> List[BindingCacheEntry]:
+        """Bindings whose mobile node subscribed to ``group``."""
+        group = Address(group)
+        return [e for e in self._entries.values() if group in e.groups]
+
+    def all_groups(self) -> Set[Address]:
+        """Union of all groups subscribed on behalf of mobile nodes."""
+        groups: Set[Address] = set()
+        for entry in self._entries.values():
+            groups |= entry.groups
+        return groups

@@ -1,0 +1,63 @@
+"""Mobile IPv6 configuration (draft-ietf-mobileip-ipv6-10).
+
+Defaults follow the draft values the paper quotes — in particular the
+binding lifetime default ``MAX_BINDACK_TIMEOUT = 256 s`` (paper
+§4.3.2).  The handoff timing knobs model the delays the paper's
+analysis hinges on:
+
+* ``movement_detection_delay`` — "it takes the mobile sender a certain
+  time to detect the link change" (§4.3.1); during this window outgoing
+  datagrams carry an **erroneous source address**, the trigger of the
+  unwanted assert process,
+* ``coa_config_delay`` — care-of address formation via stateless
+  autoconfiguration (duplicate address detection etc., RFC 2462).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["MobileIpv6Config", "DeliveryMode"]
+
+
+class DeliveryMode(enum.Enum):
+    """How a mobile host exchanges multicast traffic while away from home.
+
+    The two mechanisms of paper §4.2: (A) locally via the foreign
+    link's multicast router, or (B) through the home agent tunnel.
+    """
+
+    LOCAL = "local"
+    HA_TUNNEL = "ha-tunnel"
+
+
+@dataclass(frozen=True)
+class MobileIpv6Config:
+    """Tunable Mobile IPv6 parameters."""
+
+    #: Binding lifetime granted by home agents (s).  Draft default 256 s.
+    binding_lifetime: float = 256.0
+    #: How often the mobile node refreshes its binding (s).
+    binding_refresh_interval: float = 128.0
+    #: Layer-2 detach→attach gap when moving between links (s).
+    handoff_delay: float = 0.1
+    #: Time to detect the link change after attaching (router discovery).
+    movement_detection_delay: float = 1.0
+    #: Time to form and validate the care-of address (autoconfiguration).
+    coa_config_delay: float = 0.5
+    #: Retransmission interval for unacknowledged Binding Updates (s).
+    bu_retransmit_interval: float = 1.0
+    #: Maximum Binding Update retransmissions.
+    bu_max_retransmits: int = 3
+
+    def __post_init__(self) -> None:
+        if self.binding_lifetime <= 0:
+            raise ValueError("binding_lifetime must be positive")
+        if self.binding_refresh_interval >= self.binding_lifetime:
+            raise ValueError(
+                "binding_refresh_interval must be below binding_lifetime"
+            )
+        for name in ("handoff_delay", "movement_detection_delay", "coa_config_delay"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")

@@ -1,0 +1,281 @@
+"""Home agent: binding management, proxy intercept, and multicast relay.
+
+The paper's network (Figure 1) has "five routers [that] act as PIM-DM
+routers and home agents", so :class:`HomeAgent` extends
+:class:`~repro.pimdm.router.MulticastRouter` with the Mobile IPv6
+home-agent function:
+
+* **Binding Updates** — maintain the binding cache, register the mobile
+  node's home address as a proxy entry on the home link (so unicast
+  traffic to the home address is intercepted and tunneled to the
+  care-of address), and answer with Binding Acknowledgements,
+* **extended Binding Updates** (paper §4.3.2, Figure 5) — the
+  Multicast Group List Sub-Option makes the home agent join the listed
+  groups *on behalf of* the mobile node and tunnel every matching
+  multicast datagram to the care-of address,
+* **reverse tunnel** (paper §4.2.2-B, Figure 4) — decapsulate
+  multicast datagrams tunneled up from a mobile sender and forward them
+  onto the home link / into the PIM-DM distribution tree, so the
+  original source-rooted tree keeps serving all members.
+
+System-load counters (`load["encapsulations"]`, binding-cache size,
+per-group subscriber counts) feed the §4.3 comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..net.addressing import Address
+from ..net.interface import Interface
+from ..net.messages import ControlPayload
+from ..net.packet import Ipv6Packet
+from ..pimdm.router import MulticastRouter
+from .binding import BindingCache, BindingCacheEntry
+from .config import MobileIpv6Config
+from .options import (
+    BindingAckOption,
+    BindingRequestOption,
+    BindingUpdateOption,
+    MulticastGroupListSubOption,
+)
+
+__all__ = ["HomeAgent"]
+
+
+class HomeAgent(MulticastRouter):
+    """A PIM-DM router that is also a Mobile IPv6 home agent."""
+
+    def __init__(
+        self, *args, mipv6_config: Optional[MobileIpv6Config] = None, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.mipv6_config = mipv6_config or MobileIpv6Config()
+        self.binding_cache = BindingCache(self.sim, on_expired=self._binding_expired)
+        #: group -> number of bindings holding it (drives node-level joins)
+        self._group_refcount: Dict[Address, int] = {}
+        self.register_option_handler(BindingUpdateOption, self._on_binding_update)
+        self.register_tunnel_handler(self._on_reverse_tunnel)
+        self.pim.on_local_delivery(self._relay_group_traffic)
+        #: experiment counters
+        self.tunneled_to_mobiles = 0
+        self.reverse_tunneled = 0
+        #: pending pre-expiry Binding Request probes, one per binding
+        self._binding_request_events: Dict[Address, object] = {}
+
+    # ------------------------------------------------------------------
+    # home-link discovery
+    # ------------------------------------------------------------------
+    def home_iface_for(self, home_address: Address) -> Optional[Interface]:
+        """The attached interface whose link prefix covers ``home_address``."""
+        for iface in self.interfaces:
+            if iface.link is not None and iface.link.prefix.contains(home_address):
+                return iface
+        return None
+
+    def serves_home_address(self, home_address: Address) -> bool:
+        return self.home_iface_for(home_address) is not None
+
+    # ------------------------------------------------------------------
+    # Binding Update processing
+    # ------------------------------------------------------------------
+    def _on_binding_update(
+        self, packet: Ipv6Packet, bu: BindingUpdateOption, iface: Interface
+    ) -> None:
+        if not bu.home_registration:
+            return
+        home_iface = self.home_iface_for(bu.home_address)
+        if home_iface is None:
+            self._send_binding_ack(bu, status=132)  # not home agent for this MN
+            self.trace("mipv6", event="bu-rejected", home=str(bu.home_address))
+            return
+        if bu.lifetime <= 0:
+            entry = self.binding_cache.remove(bu.home_address)
+            if entry is not None:
+                self._teardown_binding(entry)
+            self._send_binding_ack(bu, status=0, to_home_link=True)
+            self.trace("mipv6", event="binding-deregistered", home=str(bu.home_address))
+            return
+
+        has_group_list = any(
+            isinstance(sub, MulticastGroupListSubOption) for sub in bu.sub_options
+        )
+        previous = self.binding_cache.get(bu.home_address)
+        old_groups = set(previous.groups) if previous is not None else set()
+        entry = self.binding_cache.update(
+            home_address=bu.home_address,
+            care_of_address=bu.care_of_address,
+            lifetime=min(bu.lifetime, self.mipv6_config.binding_lifetime),
+            sequence=bu.sequence,
+            groups=bu.multicast_groups() if has_group_list else None,
+        )
+        if previous is None:
+            # Defend the home address on the home link (proxy intercept).
+            home_iface.link.register_address(home_iface, bu.home_address)
+            self.trace(
+                "mipv6",
+                event="binding-registered",
+                home=str(bu.home_address),
+                coa=str(bu.care_of_address),
+            )
+        else:
+            self.trace(
+                "mipv6",
+                event="binding-refreshed",
+                home=str(bu.home_address),
+                coa=str(bu.care_of_address),
+            )
+        if has_group_list:
+            self._sync_groups(old_groups, entry.groups)
+        if bu.ack_requested:
+            self._send_binding_ack(bu, status=0)
+        self._schedule_binding_request(entry)
+
+    def _send_binding_ack(
+        self, bu: BindingUpdateOption, status: int, to_home_link: bool = False
+    ) -> None:
+        dst = bu.home_address if to_home_link else bu.care_of_address
+        granted = min(bu.lifetime, self.mipv6_config.binding_lifetime)
+        ack = BindingAckOption(
+            status=status,
+            sequence=bu.sequence,
+            lifetime=granted,
+            # The advertised refresh interval must come up well inside the
+            # granted lifetime, or the binding dies between refreshes.
+            refresh=min(self.mipv6_config.binding_refresh_interval, granted / 2),
+        )
+        packet = Ipv6Packet(
+            self.primary_address(),
+            dst,
+            ControlPayload("mipv6", 0, "BA-carrier"),
+            dest_options=(ack,),
+        )
+        self.route_and_send(packet)
+        self.trace("mipv6", event="ba-sent", to=str(dst), status=status)
+
+    def _schedule_binding_request(self, entry) -> None:
+        """Probe the mobile with a Binding Request at 90% of the granted
+        lifetime (draft §5.3): if its refreshes stopped arriving, this
+        is the last chance to keep the binding (and the on-behalf group
+        memberships) alive."""
+        pending = self._binding_request_events.get(entry.home_address)
+        if pending is not None and pending.pending:
+            pending.cancel()
+        self._binding_request_events[entry.home_address] = self.sim.schedule(
+            entry.lifetime * 0.9,
+            self._send_binding_request,
+            entry.home_address,
+            label=f"{self.name}.binding-request",
+        )
+
+    def _send_binding_request(self, home_address: Address) -> None:
+        entry = self.binding_cache.get(home_address)
+        if entry is None:
+            return
+        packet = Ipv6Packet(
+            self.primary_address(),
+            entry.care_of_address,
+            ControlPayload("mipv6", 0, "BR-carrier"),
+            dest_options=(BindingRequestOption(),),
+        )
+        self.route_and_send(packet)
+        self.trace("mipv6", event="binding-request-sent", home=str(home_address))
+
+    def _binding_expired(self, entry: BindingCacheEntry) -> None:
+        self.trace("mipv6", event="binding-expired", home=str(entry.home_address))
+        self._teardown_binding(entry)
+
+    def _teardown_binding(self, entry: BindingCacheEntry) -> None:
+        home_iface = self.home_iface_for(entry.home_address)
+        if home_iface is not None and home_iface.link is not None:
+            # Only drop the proxy entry if it still points at us (the MN
+            # re-registers its own address when it returns home).
+            if home_iface.link.resolve(entry.home_address) is home_iface:
+                home_iface.link.unregister_address(entry.home_address)
+        self._sync_groups(set(entry.groups), set())
+
+    # ------------------------------------------------------------------
+    # on-behalf group membership (paper §4.3.2)
+    # ------------------------------------------------------------------
+    def _sync_groups(self, old: set, new: set) -> None:
+        for group in sorted(new - old):
+            count = self._group_refcount.get(group, 0)
+            self._group_refcount[group] = count + 1
+            if count == 0:
+                self.join_local_group(group)
+                self.trace("mipv6", event="on-behalf-join", group=str(group))
+        for group in sorted(old - new):
+            count = self._group_refcount.get(group, 0)
+            if count <= 1:
+                self._group_refcount.pop(group, None)
+                self.leave_local_group(group)
+                self.trace("mipv6", event="on-behalf-leave", group=str(group))
+            else:
+                self._group_refcount[group] = count - 1
+
+    def groups_on_behalf(self) -> List[Address]:
+        return sorted(self._group_refcount)
+
+    # ------------------------------------------------------------------
+    # downstream relay: group traffic -> tunnels to subscribed mobiles
+    # ------------------------------------------------------------------
+    def _relay_group_traffic(self, packet: Ipv6Packet, iface: Interface) -> None:
+        for entry in self.binding_cache.subscribers_of(packet.dst):
+            outer = packet.encapsulate(self.primary_address(), entry.care_of_address)
+            self.load["encapsulations"] += 1
+            self.tunneled_to_mobiles += 1
+            self.trace(
+                "mipv6",
+                event="tunnel-mcast-to-mn",
+                home=str(entry.home_address),
+                coa=str(entry.care_of_address),
+                group=str(packet.dst),
+            )
+            self.route_and_send(outer)
+
+    # ------------------------------------------------------------------
+    # unicast proxy intercept
+    # ------------------------------------------------------------------
+    def intercepts(self, dst: Address) -> bool:
+        return dst in self.binding_cache
+
+    def intercept_deliver(self, packet: Ipv6Packet, iface: Interface) -> None:
+        entry = self.binding_cache.get(packet.dst)
+        if entry is None:
+            return
+        outer = packet.encapsulate(self.primary_address(), entry.care_of_address)
+        self.load["encapsulations"] += 1
+        self.trace(
+            "mipv6",
+            event="tunnel-unicast-to-mn",
+            home=str(entry.home_address),
+            coa=str(entry.care_of_address),
+        )
+        self.route_and_send(outer)
+
+    # ------------------------------------------------------------------
+    # reverse tunnel: mobile sender -> home link (paper Figure 4)
+    # ------------------------------------------------------------------
+    def _on_reverse_tunnel(self, packet: Ipv6Packet, iface: Interface) -> bool:
+        inner = packet.decapsulate()
+        if not inner.dst.is_multicast:
+            return False  # plain unicast tunnel: default handling
+        home_iface = self.home_iface_for(inner.src)
+        if home_iface is None or home_iface.link is None:
+            self.trace("mipv6", event="reverse-tunnel-rejected", src=str(inner.src))
+            return True
+        self.reverse_tunneled += 1
+        self.trace(
+            "mipv6",
+            event="reverse-tunnel-forward",
+            src=str(inner.src),
+            group=str(inner.dst),
+            home_link=home_iface.link.name,
+        )
+        # Deliver to members on the home link itself ...
+        self.send_on(home_iface, inner)
+        # ... and inject into our own PIM-DM forwarding as if it had
+        # arrived on the home interface (RPF-correct: the inner source
+        # address belongs to the home link's prefix).
+        self.pim.on_multicast_data(inner, home_iface)
+        return True

@@ -1,0 +1,537 @@
+"""Mobile node: movement, binding maintenance, and multicast delivery modes.
+
+A :class:`MobileNode` is a host with one interface that changes its
+point of attachment (paper §2):
+
+* ``move_to(link)`` runs the handoff pipeline: detach → (L2 handoff
+  delay) attach → (movement detection delay) → (care-of address
+  configuration delay) → Binding Update to the home agent.  Until the
+  care-of address is configured, outgoing datagrams carry the **stale
+  source address** — the erroneous-source window whose unwanted assert
+  processes §4.3.1 describes,
+* multicast reception (paper §4.2.1) is either **local** — MLD
+  membership on the foreign link using the care-of address, approach A —
+  or **via the home agent** — the group list rides in extended Binding
+  Updates and traffic arrives through the tunnel, approach B,
+* multicast sending (paper §4.2.2) is either **local** — datagrams use
+  the care-of address as source, so PIM-DM sees a brand-new sender and
+  builds a new tree — or **tunneled to the home agent**, which forwards
+  on the home link so the existing tree keeps working.
+
+The two mode switches are exactly Table 1's axes; the four combinations
+are named in :mod:`repro.core.strategies`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..mld import MldConfig, MldHost
+from ..net.addressing import Address
+from ..net.link import Link
+from ..net.messages import ControlPayload, Message
+from ..net.node import Host
+from ..net.packet import Ipv6Packet
+from ..sim import Timer
+from .config import DeliveryMode, MobileIpv6Config
+from .options import (
+    BindingAckOption,
+    BindingRequestOption,
+    BindingUpdateOption,
+    HomeAddressOption,
+    MulticastGroupListSubOption,
+)
+
+__all__ = ["MobileNode"]
+
+
+class MobileNode(Host):
+    """A Mobile IPv6 host (sender and/or receiver of multicast)."""
+
+    def __init__(
+        self,
+        *args,
+        home_link: Link,
+        home_agent_address: Address,
+        host_id: int,
+        alternate_home_agents: Sequence[Address] = (),
+        config: Optional[MobileIpv6Config] = None,
+        mld_config: Optional[MldConfig] = None,
+        recv_mode: DeliveryMode = DeliveryMode.LOCAL,
+        send_mode: DeliveryMode = DeliveryMode.LOCAL,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.config = config or MobileIpv6Config()
+        self.recv_mode = recv_mode
+        self.send_mode = send_mode
+        self.host_id = host_id
+        self.home_link = home_link
+        self.home_address = home_link.prefix.address_for_host(host_id)
+        self.home_agent_address = Address(home_agent_address)
+        #: failover ring (paper §5 outlook / its reference [10]: home
+        #: agent redundancy): when Binding Updates to the current home
+        #: agent go unanswered, the mobile rotates to the next one.
+        self._ha_candidates: List[Address] = [Address(home_agent_address)] + [
+            Address(a) for a in alternate_home_agents
+        ]
+        self._ha_index = 0
+        self.ha_failovers = 0
+        self.mld = MldHost(self, mld_config)
+
+        self.iface = self.new_interface(name=f"{self.name}.if")
+        self.iface.attach(home_link)
+        self.iface.add_address(self.home_address)
+        self.current_link: Optional[Link] = home_link
+        self.care_of_address: Optional[Address] = None
+        #: source address used until a new care-of address is configured
+        #: (the stale address of the erroneous-source window)
+        self._active_source: Address = self.home_address
+        #: groups the applications on this node subscribed to
+        self.subscribed_groups: Set[Address] = set()
+
+        self._bu_sequence = 0
+        self._move_seq = 0
+        self._bu_timer: Optional[Timer] = None
+        self._bu_retries = 0
+        self._refresh_timer: Optional[Timer] = None
+        self._last_bu_sent_at: Optional[float] = None
+        #: measured Binding Update round-trip times
+        self.bu_rtts: List[float] = []
+        #: datagrams dropped because the node was between links
+        self.handoff_losses = 0
+        #: peers that receive route-optimization Binding Updates (draft
+        #: §8) whenever our care-of address changes
+        self.correspondents: Set[Address] = set()
+
+        self.register_option_handler(BindingAckOption, self._on_binding_ack)
+        self.register_option_handler(BindingRequestOption, self._on_binding_request)
+        self.register_tunnel_handler(self._on_tunnel)
+
+    # ------------------------------------------------------------------
+    @property
+    def at_home(self) -> bool:
+        return self.current_link is self.home_link
+
+    @property
+    def attached(self) -> bool:
+        return self.iface.attached
+
+    def owns_address(self, address: Address) -> bool:
+        # The home address identifies the node wherever it is (paper §2).
+        return Address(address) == self.home_address or super().owns_address(address)
+
+    def current_source_address(self) -> Address:
+        """Source address outgoing datagrams would carry right now."""
+        if self.at_home:
+            return self.home_address
+        if self.care_of_address is not None:
+            return self.care_of_address
+        return self._active_source
+
+    # ------------------------------------------------------------------
+    # application group membership
+    # ------------------------------------------------------------------
+    def join_group(self, group: Address) -> None:
+        """Subscribe to a multicast group under the active receive mode."""
+        group = Address(group)
+        self.subscribed_groups.add(group)
+        if self.at_home or self.recv_mode is DeliveryMode.LOCAL:
+            if self.attached:
+                self.mld.join(group)
+        else:
+            # Away + tunnel mode: update the home agent's group list.
+            if self.care_of_address is not None:
+                self._send_binding_update()
+        self.trace("mobility", event="app-join", group=str(group))
+
+    def leave_group(self, group: Address) -> None:
+        group = Address(group)
+        self.subscribed_groups.discard(group)
+        if group in self.mld.groups:
+            self.mld.leave(group)
+        elif not self.at_home and self.recv_mode is DeliveryMode.HA_TUNNEL:
+            if self.care_of_address is not None:
+                self._send_binding_update()
+        self.trace("mobility", event="app-leave", group=str(group))
+
+    # ------------------------------------------------------------------
+    # multicast sending (paper §4.2.2)
+    # ------------------------------------------------------------------
+    def send_app_multicast(self, group: Address, message: Message) -> Optional[Ipv6Packet]:
+        """Send one multicast datagram under the active send mode."""
+        group = Address(group)
+        if not self.attached:
+            self.handoff_losses += 1
+            self.trace("mobility", event="send-lost-detached", group=str(group))
+            return None
+        if self.at_home:
+            return self.send_multicast(group, message, src=self.home_address)
+        if self.care_of_address is None:
+            # Link change not yet detected: stale (erroneous) source.
+            self.trace(
+                "mobility",
+                event="erroneous-source-send",
+                src=str(self._active_source),
+                group=str(group),
+            )
+            return self.send_multicast(group, message, src=self._active_source)
+        if self.send_mode is DeliveryMode.LOCAL:
+            return self.send_multicast(group, message, src=self.care_of_address)
+        # Tunnel to the home agent (Figure 4): inner source is the home
+        # address, outer source the care-of address.
+        inner = Ipv6Packet(self.home_address, group, message)
+        outer = inner.encapsulate(self.care_of_address, self.home_agent_address)
+        self.load["encapsulations"] += 1
+        self.trace("mipv6", event="reverse-tunnel-send", group=str(group))
+        self.route_and_send(outer)
+        return outer
+
+    # ------------------------------------------------------------------
+    # runtime strategy switching
+    # ------------------------------------------------------------------
+    def set_delivery_modes(
+        self,
+        recv_mode: Optional[DeliveryMode] = None,
+        send_mode: Optional[DeliveryMode] = None,
+    ) -> None:
+        """Switch multicast delivery mechanisms at runtime.
+
+        The paper's conclusion (§5): "Each approach is a solution for
+        some specific scenarios and demands, but no general solution can
+        be presented" — so a deployable mobile host must be able to
+        change approach.  Switching while away re-applies the receive
+        mechanism immediately: to LOCAL it rejoins via MLD on the
+        current link and clears the home agent's group list; to
+        HA_TUNNEL it suspends local MLD state and ships the group list
+        in a fresh extended Binding Update.
+        """
+        changed_recv = recv_mode is not None and recv_mode is not self.recv_mode
+        if recv_mode is not None:
+            self.recv_mode = recv_mode
+        if send_mode is not None:
+            self.send_mode = send_mode
+        self.trace(
+            "mobility",
+            event="strategy-switched",
+            recv=self.recv_mode.value,
+            send=self.send_mode.value,
+        )
+        if not changed_recv or self.at_home:
+            return
+        if self.care_of_address is None:
+            return  # mid-handoff; _configure_coa will apply the mode
+        if self.recv_mode is DeliveryMode.LOCAL:
+            # drop the HA subscription, join locally
+            self._send_binding_update()  # group list now omitted -> HA keeps
+            self._apply_receive_mode()
+            # explicitly clear the on-behalf list with an empty sub-option
+            self._send_group_list_update([])
+        else:
+            self.mld.suspend()
+            self._send_binding_update()
+
+    def _send_group_list_update(self, groups) -> None:
+        """Extended BU carrying an explicit (possibly empty) group list."""
+        if self.care_of_address is None:
+            return
+        self._bu_sequence += 1
+        bu = BindingUpdateOption(
+            home_address=self.home_address,
+            care_of_address=self.care_of_address,
+            lifetime=self.config.binding_lifetime,
+            sequence=self._bu_sequence,
+            ack_requested=True,
+            home_registration=True,
+            sub_options=(MulticastGroupListSubOption(sorted(groups)),),
+        )
+        packet = Ipv6Packet(
+            self.care_of_address,
+            self.home_agent_address,
+            ControlPayload("mipv6", 0, "BU-carrier"),
+            dest_options=(HomeAddressOption(self.home_address), bu),
+        )
+        self.trace(
+            "mipv6", event="bu-sent", seq=self._bu_sequence,
+            coa=str(self.care_of_address), lifetime=self.config.binding_lifetime,
+            groups=[str(g) for g in sorted(groups)],
+        )
+        self.route_and_send(packet)
+
+    # ------------------------------------------------------------------
+    # unicast with correspondents (route optimization, draft §8)
+    # ------------------------------------------------------------------
+    def register_correspondent(self, address: Address) -> None:
+        """Start sending route-optimization Binding Updates to ``address``
+        whenever the care-of address changes."""
+        self.correspondents.add(Address(address))
+        if not self.at_home and self.care_of_address is not None:
+            self._send_correspondent_updates()
+
+    def send_to_correspondent(self, address: Address, message: Message) -> Optional[Ipv6Packet]:
+        """Unicast to a peer: direct path with a Home Address option when
+        away from home (paper §2, last paragraph)."""
+        address = Address(address)
+        if not self.attached:
+            self.handoff_losses += 1
+            return None
+        if self.at_home or self.care_of_address is None:
+            packet = Ipv6Packet(self.home_address, address, message)
+        else:
+            packet = Ipv6Packet(
+                self.care_of_address,
+                address,
+                message,
+                dest_options=(HomeAddressOption(self.home_address),),
+            )
+        self.route_and_send(packet)
+        return packet
+
+    def _send_correspondent_updates(self) -> None:
+        if self.care_of_address is None:
+            return
+        for peer in sorted(self.correspondents):
+            bu = BindingUpdateOption(
+                home_address=self.home_address,
+                care_of_address=self.care_of_address,
+                lifetime=self.config.binding_lifetime,
+                sequence=self._bu_sequence,
+                ack_requested=False,
+                home_registration=False,
+            )
+            packet = Ipv6Packet(
+                self.care_of_address,
+                peer,
+                ControlPayload("mipv6", 0, "CN-BU-carrier"),
+                dest_options=(HomeAddressOption(self.home_address), bu),
+            )
+            self.route_and_send(packet)
+            self.trace("mipv6", event="cn-bu-sent", to=str(peer))
+
+    # ------------------------------------------------------------------
+    # multicast reception via tunnel (paper §4.2.1-B)
+    # ------------------------------------------------------------------
+    def _on_tunnel(self, packet: Ipv6Packet, iface) -> bool:
+        inner = packet.decapsulate()
+        if inner.dst.is_multicast:
+            if inner.dst in self.subscribed_groups:
+                self.trace(
+                    "mipv6", event="tunnel-mcast-received", group=str(inner.dst)
+                )
+                self.deliver_app_data(inner)
+            return True
+        # Tunneled unicast: deliver the inner packet normally.
+        self.receive(inner, iface)
+        return True
+
+    # ------------------------------------------------------------------
+    # movement (paper §2 and §4.2)
+    # ------------------------------------------------------------------
+    def move_to(self, link: Link) -> None:
+        """Begin a handoff to ``link`` now."""
+        if link is self.current_link:
+            return
+        self.trace(
+            "mobility",
+            event="detached",
+            from_link=self.current_link.name if self.current_link else None,
+            to_link=link.name,
+        )
+        self._active_source = self.current_source_address()
+        self._cancel_binding_timers()
+        self.iface.detach()
+        self.iface.clear_addresses()
+        self.current_link = None
+        self.care_of_address = None
+        self._move_seq += 1
+        self.sim.schedule(
+            self.config.handoff_delay,
+            self._attach,
+            link,
+            self._move_seq,
+            label=f"{self.name}.attach",
+        )
+
+    def _attach(self, link: Link, seq: int) -> None:
+        if seq != self._move_seq:
+            return  # superseded by a newer move while detached
+        self.iface.attach(link)
+        self.current_link = link
+        self.trace("mobility", event="attached", link=link.name)
+        self.sim.schedule(
+            self.config.movement_detection_delay,
+            self._movement_detected,
+            link,
+            seq,
+            label=f"{self.name}.movedetect",
+        )
+
+    def _movement_detected(self, link: Link, seq: int) -> None:
+        if seq != self._move_seq or self.current_link is not link:
+            return  # moved again in the meantime
+        self.trace("mobility", event="movement-detected", link=link.name)
+        if link is self.home_link:
+            self._returned_home()
+            return
+        self.sim.schedule(
+            self.config.coa_config_delay,
+            self._configure_coa,
+            link,
+            seq,
+            label=f"{self.name}.coa",
+        )
+
+    def _configure_coa(self, link: Link, seq: int) -> None:
+        if seq != self._move_seq or self.current_link is not link:
+            return
+        coa = link.prefix.address_for_host(self.host_id)
+        self.iface.add_address(coa)
+        self.care_of_address = coa
+        self._active_source = coa
+        self.trace("mobility", event="coa-configured", coa=str(coa), link=link.name)
+        self._send_binding_update()
+        self._apply_receive_mode()
+
+    def _returned_home(self) -> None:
+        self.care_of_address = None
+        self.iface.add_address(self.home_address)
+        self._active_source = self.home_address
+        self.trace("mobility", event="returned-home")
+        self._send_binding_update(deregister=True)
+        # At home, reception is always local.
+        for group in sorted(self.subscribed_groups):
+            if group not in self.mld.groups:
+                self.mld.join(group, send_unsolicited=False)
+        self.mld.after_move()
+
+    def _apply_receive_mode(self) -> None:
+        if self.recv_mode is DeliveryMode.LOCAL:
+            # Approach A: membership on the foreign link (Figure 2).
+            for group in sorted(self.subscribed_groups):
+                if group not in self.mld.groups:
+                    self.mld.join(group, send_unsolicited=False)
+            self.mld.after_move()
+        else:
+            # Approach B: do not answer queries here; the group list went
+            # to the home agent inside the Binding Update (Figure 3).
+            self.mld.suspend()
+
+    # ------------------------------------------------------------------
+    # binding maintenance
+    # ------------------------------------------------------------------
+    def _send_binding_update(
+        self, deregister: bool = False, is_retransmit: bool = False
+    ) -> None:
+        if deregister:
+            src: Optional[Address] = self.home_address
+            coa = self.home_address
+            lifetime = 0.0
+        else:
+            src = self.care_of_address
+            coa = self.care_of_address
+            lifetime = self.config.binding_lifetime
+        if src is None or coa is None:
+            return
+        self._bu_sequence += 1
+        sub_options = ()
+        if not deregister and self.recv_mode is DeliveryMode.HA_TUNNEL:
+            sub_options = (
+                MulticastGroupListSubOption(sorted(self.subscribed_groups)),
+            )
+        bu = BindingUpdateOption(
+            home_address=self.home_address,
+            care_of_address=coa,
+            lifetime=lifetime,
+            sequence=self._bu_sequence,
+            ack_requested=True,
+            home_registration=True,
+            sub_options=sub_options,
+        )
+        options = (HomeAddressOption(self.home_address), bu)
+        packet = Ipv6Packet(
+            src,
+            self.home_agent_address,
+            ControlPayload("mipv6", 0, "BU-carrier"),
+            dest_options=options,
+        )
+        self._last_bu_sent_at = self.sim.now
+        self.trace(
+            "mipv6",
+            event="bu-sent",
+            seq=self._bu_sequence,
+            coa=str(coa),
+            lifetime=lifetime,
+            groups=[str(g) for g in bu.multicast_groups()],
+        )
+        self.route_and_send(packet)
+        if not deregister:
+            self._arm_bu_retransmit(reset=not is_retransmit)
+            if not is_retransmit:
+                self._send_correspondent_updates()
+
+    def _arm_bu_retransmit(self, reset: bool = True) -> None:
+        if reset:
+            self._bu_retries = 0
+        if self._bu_timer is None:
+            self._bu_timer = Timer(
+                self.sim, self._bu_retransmit, name=f"{self.name}.bu-rexmt"
+            )
+        self._bu_timer.start(self.config.bu_retransmit_interval)
+
+    def _bu_retransmit(self) -> None:
+        if self._bu_retries >= self.config.bu_max_retransmits:
+            if len(self._ha_candidates) > 1:
+                self._failover_home_agent()
+            else:
+                self.trace("mipv6", event="bu-gave-up")
+            return
+        self._bu_retries += 1
+        self.trace("mipv6", event="bu-retransmit", attempt=self._bu_retries)
+        self._send_binding_update(is_retransmit=True)
+
+    def _failover_home_agent(self) -> None:
+        """Rotate to the next home agent and re-register with it."""
+        self._ha_index = (self._ha_index + 1) % len(self._ha_candidates)
+        self.home_agent_address = self._ha_candidates[self._ha_index]
+        self.ha_failovers += 1
+        self.trace(
+            "mipv6", event="ha-failover", new_ha=str(self.home_agent_address)
+        )
+        self._send_binding_update()
+
+    def _on_binding_request(self, packet: Ipv6Packet, request, iface) -> None:
+        """Answer a Binding Request (draft §5.3) with a fresh Binding
+        Update — to the home agent or to a correspondent."""
+        self.trace("mipv6", event="binding-request-received", frm=str(packet.src))
+        if self.at_home or self.care_of_address is None:
+            return
+        if packet.src == self.home_agent_address:
+            self._send_binding_update()
+        elif packet.src in self.correspondents:
+            self._send_correspondent_updates()
+
+    def _on_binding_ack(self, packet: Ipv6Packet, ack: BindingAckOption, iface) -> None:
+        if self._bu_timer is not None:
+            self._bu_timer.stop()
+        if self._last_bu_sent_at is not None:
+            self.bu_rtts.append(self.sim.now - self._last_bu_sent_at)
+        self.trace("mipv6", event="ba-received", status=ack.status, seq=ack.sequence)
+        if not ack.accepted:
+            return
+        if not self.at_home and ack.lifetime > 0:
+            if self._refresh_timer is None:
+                self._refresh_timer = Timer(
+                    self.sim, self._refresh_binding, name=f"{self.name}.bu-refresh"
+                )
+            refresh = ack.refresh or self.config.binding_refresh_interval
+            self._refresh_timer.start(refresh)
+
+    def _refresh_binding(self) -> None:
+        if not self.at_home and self.care_of_address is not None:
+            self._send_binding_update()
+
+    def _cancel_binding_timers(self) -> None:
+        if self._bu_timer is not None:
+            self._bu_timer.stop()
+        if self._refresh_timer is not None:
+            self._refresh_timer.stop()

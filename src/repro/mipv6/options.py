@@ -1,0 +1,360 @@
+"""Mobile IPv6 destination options and sub-options — wire formats.
+
+The Mobile IPv6 draft defines four IPv6 destination options (paper §2,
+footnote 3): **Binding Update**, **Binding Acknowledgement**, **Binding
+Request**, and **Home Address**.  Binding Updates may carry
+*sub-options*; the draft defines the Unique Identifier and Alternate
+Care-of Address sub-options, and the paper proposes a third one — the
+**Multicast Group List Sub-Option** (Figure 5) — that lets a mobile
+host hand its multicast group memberships to its home agent inside a
+Binding Update with the Home Registration (H) bit set (§4.3.2).
+
+All options/sub-options here serialize to and parse from bytes exactly;
+the Figure 5 rule "Sub-Option Len fields must be set to 16·N, where N
+is the number of multicast group addresses" is enforced on both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..net.addressing import Address
+from ..net.packet import DestinationOption
+
+__all__ = [
+    "SubOption",
+    "UniqueIdentifierSubOption",
+    "AlternateCareOfAddressSubOption",
+    "MulticastGroupListSubOption",
+    "BindingUpdateOption",
+    "BindingAckOption",
+    "BindingRequestOption",
+    "HomeAddressOption",
+    "parse_sub_options",
+    "BU_FLAG_ACK",
+    "BU_FLAG_HOME",
+]
+
+# Option type codes (draft-ietf-mobileip-ipv6-10 §5).
+OPT_BINDING_UPDATE = 0xC6
+OPT_BINDING_ACK = 0x07
+OPT_BINDING_REQUEST = 0x08
+OPT_HOME_ADDRESS = 0xC9
+
+# Sub-option type codes: 1 and 2 per the draft, 3 is the paper's proposal.
+SUBOPT_UNIQUE_IDENTIFIER = 1
+SUBOPT_ALTERNATE_COA = 2
+SUBOPT_MULTICAST_GROUP_LIST = 3
+
+# Binding Update flag bits.
+BU_FLAG_ACK = 0x80  # A: acknowledgement requested
+BU_FLAG_HOME = 0x40  # H: home registration
+
+
+class SubOption:
+    """Base class for Binding Update sub-options (Type, Len, Data)."""
+
+    sub_option_type: int = 0
+
+    def data_bytes(self) -> bytes:
+        raise NotImplementedError
+
+    @property
+    def size_bytes(self) -> int:
+        return 2 + len(self.data_bytes())
+
+    def serialize(self) -> bytes:
+        data = self.data_bytes()
+        if len(data) > 255:
+            raise ValueError("sub-option data exceeds 255 bytes")
+        return bytes([self.sub_option_type, len(data)]) + data
+
+
+@dataclass(frozen=True)
+class UniqueIdentifierSubOption(SubOption):
+    """Unique Identifier Sub-Option (draft §5.5.1): a 16-bit id."""
+
+    identifier: int = 0
+    sub_option_type = SUBOPT_UNIQUE_IDENTIFIER
+
+    def data_bytes(self) -> bytes:
+        return self.identifier.to_bytes(2, "big")
+
+    @classmethod
+    def parse(cls, data: bytes) -> "UniqueIdentifierSubOption":
+        if len(data) != 2:
+            raise ValueError(f"unique identifier needs 2 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+
+@dataclass(frozen=True)
+class AlternateCareOfAddressSubOption(SubOption):
+    """Alternate Care-of Address Sub-Option (draft §5.5.2)."""
+
+    care_of_address: Address = field(default_factory=lambda: Address("::"))
+    sub_option_type = SUBOPT_ALTERNATE_COA
+
+    def data_bytes(self) -> bytes:
+        return self.care_of_address.packed()
+
+    @classmethod
+    def parse(cls, data: bytes) -> "AlternateCareOfAddressSubOption":
+        return cls(Address.from_packed(data))
+
+
+class MulticastGroupListSubOption(SubOption):
+    """The paper's proposed Multicast Group List Sub-Option (Figure 5).
+
+    Carries the list of multicast groups the mobile host requests its
+    home agent to join on its behalf.  Valid only in a Binding Update
+    with Home Registration (H) set.  ``Sub-Option Len = 16·N``.
+
+    >>> opt = MulticastGroupListSubOption([Address("ff1e::1")])
+    >>> raw = opt.serialize()
+    >>> raw[1]          # Sub-Option Len = 16 * 1
+    16
+    >>> MulticastGroupListSubOption.parse(raw[2:]).groups
+    [Address('ff1e::1')]
+    """
+
+    sub_option_type = SUBOPT_MULTICAST_GROUP_LIST
+
+    def __init__(self, groups: List[Address]) -> None:
+        checked: List[Address] = []
+        for group in groups:
+            group = Address(group)
+            if not group.is_multicast:
+                raise ValueError(f"{group} is not a multicast group address")
+            checked.append(group)
+        self.groups = checked
+
+    def data_bytes(self) -> bytes:
+        return b"".join(g.packed() for g in self.groups)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "MulticastGroupListSubOption":
+        if len(data) % 16 != 0:
+            raise ValueError(
+                f"Multicast Group List length must be 16*N, got {len(data)}"
+            )
+        return cls(
+            [Address.from_packed(data[i : i + 16]) for i in range(0, len(data), 16)]
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MulticastGroupListSubOption)
+            and self.groups == other.groups
+        )
+
+    def __repr__(self) -> str:
+        return f"MulticastGroupListSubOption({self.groups!r})"
+
+
+_SUBOPT_PARSERS = {
+    SUBOPT_UNIQUE_IDENTIFIER: UniqueIdentifierSubOption.parse,
+    SUBOPT_ALTERNATE_COA: AlternateCareOfAddressSubOption.parse,
+    SUBOPT_MULTICAST_GROUP_LIST: MulticastGroupListSubOption.parse,
+}
+
+
+def parse_sub_options(raw: bytes) -> List[SubOption]:
+    """Parse a concatenation of sub-options (TLV walk)."""
+    result: List[SubOption] = []
+    pos = 0
+    while pos < len(raw):
+        if pos + 2 > len(raw):
+            raise ValueError("truncated sub-option header")
+        sub_type, sub_len = raw[pos], raw[pos + 1]
+        body = raw[pos + 2 : pos + 2 + sub_len]
+        if len(body) != sub_len:
+            raise ValueError("truncated sub-option body")
+        parser = _SUBOPT_PARSERS.get(sub_type)
+        if parser is None:
+            raise ValueError(f"unknown sub-option type {sub_type}")
+        result.append(parser(body))
+        pos += 2 + sub_len
+    return result
+
+
+# ----------------------------------------------------------------------
+# destination options
+# ----------------------------------------------------------------------
+class BindingUpdateOption(DestinationOption):
+    """Binding Update destination option (draft §5.1).
+
+    Layout used here: Type(1) Len(1) Flags(1) Reserved(1) Sequence(2)
+    Lifetime(4) Sub-Options(...).  The paper's *extended* Binding Update
+    is this option carrying a :class:`MulticastGroupListSubOption`.
+    """
+
+    option_type = OPT_BINDING_UPDATE
+
+    def __init__(
+        self,
+        home_address: Address,
+        care_of_address: Address,
+        lifetime: float,
+        sequence: int = 0,
+        ack_requested: bool = True,
+        home_registration: bool = True,
+        sub_options: Tuple[SubOption, ...] = (),
+    ) -> None:
+        self.home_address = Address(home_address)
+        self.care_of_address = Address(care_of_address)
+        self.lifetime = float(lifetime)
+        self.sequence = sequence
+        self.ack_requested = ack_requested
+        self.home_registration = home_registration
+        self.sub_options = tuple(sub_options)
+
+    # -- wire format ----------------------------------------------------
+    @property
+    def flags(self) -> int:
+        value = 0
+        if self.ack_requested:
+            value |= BU_FLAG_ACK
+        if self.home_registration:
+            value |= BU_FLAG_HOME
+        return value
+
+    def _body(self) -> bytes:
+        subs = b"".join(s.serialize() for s in self.sub_options)
+        return (
+            bytes([self.flags, 0])
+            + (self.sequence & 0xFFFF).to_bytes(2, "big")
+            + int(self.lifetime).to_bytes(4, "big")
+            + subs
+        )
+
+    def serialize(self) -> bytes:
+        body = self._body()
+        return bytes([self.option_type, len(body)]) + body
+
+    @classmethod
+    def parse(
+        cls, raw: bytes, home_address: Address, care_of_address: Address
+    ) -> "BindingUpdateOption":
+        """Parse from the option body; addressing context comes from the
+        carrying packet (Home Address option + source address)."""
+        if len(raw) < 8:
+            raise ValueError("Binding Update too short")
+        flags = raw[0]
+        sequence = int.from_bytes(raw[2:4], "big")
+        lifetime = float(int.from_bytes(raw[4:8], "big"))
+        subs = parse_sub_options(raw[8:])
+        return cls(
+            home_address=home_address,
+            care_of_address=care_of_address,
+            lifetime=lifetime,
+            sequence=sequence,
+            ack_requested=bool(flags & BU_FLAG_ACK),
+            home_registration=bool(flags & BU_FLAG_HOME),
+            sub_options=tuple(subs),
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return 2 + len(self._body())
+
+    def multicast_groups(self) -> List[Address]:
+        """Groups requested via a Multicast Group List Sub-Option."""
+        for sub in self.sub_options:
+            if isinstance(sub, MulticastGroupListSubOption):
+                return list(sub.groups)
+        return []
+
+    def describe(self) -> str:
+        groups = self.multicast_groups()
+        extra = f" +groups={len(groups)}" if groups else ""
+        return f"BU[{self.home_address}@{self.care_of_address}{extra}]"
+
+
+class BindingAckOption(DestinationOption):
+    """Binding Acknowledgement destination option (draft §5.2)."""
+
+    option_type = OPT_BINDING_ACK
+
+    def __init__(
+        self,
+        status: int = 0,
+        sequence: int = 0,
+        lifetime: float = 0.0,
+        refresh: float = 0.0,
+    ) -> None:
+        self.status = status
+        self.sequence = sequence
+        self.lifetime = float(lifetime)
+        self.refresh = float(refresh)
+
+    @property
+    def accepted(self) -> bool:
+        return self.status < 128
+
+    def serialize(self) -> bytes:
+        body = (
+            bytes([self.status, 0])
+            + (self.sequence & 0xFFFF).to_bytes(2, "big")
+            + int(self.lifetime).to_bytes(4, "big")
+            + int(self.refresh).to_bytes(4, "big")
+        )
+        return bytes([self.option_type, len(body)]) + body
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "BindingAckOption":
+        if len(raw) < 12:
+            raise ValueError("Binding Acknowledgement too short")
+        return cls(
+            status=raw[0],
+            sequence=int.from_bytes(raw[2:4], "big"),
+            lifetime=float(int.from_bytes(raw[4:8], "big")),
+            refresh=float(int.from_bytes(raw[8:12], "big")),
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return 14
+
+    def describe(self) -> str:
+        return f"BA[status={self.status} seq={self.sequence}]"
+
+
+class BindingRequestOption(DestinationOption):
+    """Binding Request destination option (draft §5.3) — no payload."""
+
+    option_type = OPT_BINDING_REQUEST
+
+    @property
+    def size_bytes(self) -> int:
+        return 2
+
+    def serialize(self) -> bytes:
+        return bytes([self.option_type, 0])
+
+    def describe(self) -> str:
+        return "BindingRequest"
+
+
+class HomeAddressOption(DestinationOption):
+    """Home Address destination option (draft §5.4, paper §2): carried in
+    every packet a mobile node sends from a care-of address."""
+
+    option_type = OPT_HOME_ADDRESS
+
+    def __init__(self, home_address: Address) -> None:
+        self.home_address = Address(home_address)
+
+    def serialize(self) -> bytes:
+        return bytes([self.option_type, 16]) + self.home_address.packed()
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "HomeAddressOption":
+        return cls(Address.from_packed(raw))
+
+    @property
+    def size_bytes(self) -> int:
+        return 18
+
+    def describe(self) -> str:
+        return f"HomeAddr[{self.home_address}]"

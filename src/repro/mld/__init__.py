@@ -1,0 +1,17 @@
+"""Multicast Listener Discovery (RFC 2710): host and router parts."""
+
+from .config import MldConfig
+from .host import MldHost
+from .messages import MLD_MESSAGE_BYTES, MldDone, MldMessage, MldQuery, MldReport
+from .router import MldRouter
+
+__all__ = [
+    "MLD_MESSAGE_BYTES",
+    "MldConfig",
+    "MldDone",
+    "MldHost",
+    "MldMessage",
+    "MldQuery",
+    "MldReport",
+    "MldRouter",
+]

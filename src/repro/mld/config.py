@@ -1,0 +1,84 @@
+"""MLD protocol timer configuration (RFC 2710 §7).
+
+The paper's Section 4.4 proposal is precisely a re-tuning of these
+values: decrease the Query Interval (bounded below by the Maximum
+Response Delay, footnote 5) to cut the join and leave delay experienced
+by mobile receivers.  Every constant is therefore configurable, with the
+RFC defaults the paper quotes:
+
+* Query Interval T_Query = 125 s,
+* Maximum Response Delay T_RespDel = 10 s,
+* Multicast Listener Interval T_MLI = Robustness · T_Query + T_RespDel
+  = 260 s with the defaults (paper §3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MldConfig"]
+
+
+@dataclass(frozen=True)
+class MldConfig:
+    """Tunable MLD timers; defaults are the RFC 2710 values."""
+
+    #: Robustness Variable — packet-loss tolerance factor.
+    robustness: int = 2
+    #: Query Interval T_Query (s): gap between General Queries.
+    query_interval: float = 125.0
+    #: Maximum Response Delay T_RespDel (s) advertised in Queries.
+    query_response_interval: float = 10.0
+    #: Interval between the Startup Queries a fresh querier sends.
+    startup_query_interval: float = 125.0 / 4
+    #: Number of Startup Queries.
+    startup_query_count: int = 2
+    #: Max Response Delay for Multicast-Address-Specific Queries (s).
+    last_listener_query_interval: float = 1.0
+    #: Number of specific queries sent on Done.
+    last_listener_query_count: int = 2
+    #: Gap between repeated unsolicited Reports on join (s).
+    unsolicited_report_interval: float = 10.0
+    #: How many unsolicited Reports a joining host transmits.
+    unsolicited_report_count: int = 2
+    #: Paper §4.3.1/§4.4 recommendation: mobile hosts re-send
+    #: unsolicited Reports immediately after moving to a new link.
+    unsolicited_reports_on_move: bool = True
+    #: RFC 2710 §4 refinement: send Done on leave only when this host
+    #: was the last one to report the group on the link (another
+    #: member's Report means routers still know about listeners).
+    done_only_if_last_reporter: bool = False
+
+    def __post_init__(self) -> None:
+        if self.query_interval <= 0:
+            raise ValueError("query_interval must be positive")
+        if self.query_response_interval <= 0:
+            raise ValueError("query_response_interval must be positive")
+        if self.query_interval < self.query_response_interval:
+            # Footnote 5 of the paper: T_Query must not be smaller than
+            # the Maximum Response Delay T_RespDel.
+            raise ValueError(
+                "query_interval must be >= query_response_interval "
+                f"({self.query_interval} < {self.query_response_interval})"
+            )
+        if self.robustness < 1:
+            raise ValueError("robustness must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def multicast_listener_interval(self) -> float:
+        """T_MLI = Robustness · T_Query + T_RespDel (260 s by default)."""
+        return self.robustness * self.query_interval + self.query_response_interval
+
+    @property
+    def other_querier_present_interval(self) -> float:
+        """Robustness · T_Query + T_RespDel / 2 (RFC 2710 §7.5)."""
+        return self.robustness * self.query_interval + self.query_response_interval / 2
+
+    def with_query_interval(self, query_interval: float) -> "MldConfig":
+        """Derive a tuned configuration (the §4.4 optimization knob)."""
+        return replace(
+            self,
+            query_interval=query_interval,
+            startup_query_interval=query_interval / 4,
+        )

@@ -1,0 +1,211 @@
+"""MLD host part (RFC 2710 §4, host behaviour).
+
+Implements the listener side of MLD:
+
+* respond to General / Address-Specific Queries after a random delay
+  drawn uniformly from [0, Maximum Response Delay],
+* suppress a pending response when another listener's Report for the
+  same group is overheard on the link,
+* send unsolicited Reports when joining a group (and — the paper's
+  recommendation, §4.3.1 — again immediately after moving to a new
+  link),
+* send Done on an explicit leave (not on movement: a host that left the
+  link cannot transmit on it, paper §4.4).
+
+The component binds to any :class:`~repro.net.node.Node`; mobile hosts
+and plain hosts use it directly, and home agents attach one to answer
+queries for the groups they joined on behalf of their mobile nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..net.addressing import ALL_ROUTERS, Address
+from ..net.interface import Interface
+from ..net.node import Host, Node
+from ..net.packet import Ipv6Packet
+from ..sim import Timer
+from .config import MldConfig
+from .messages import MldDone, MldQuery, MldReport
+
+__all__ = ["MldHost"]
+
+
+class MldHost:
+    """Host-side MLD state machine for one node."""
+
+    def __init__(
+        self,
+        node: Node,
+        config: Optional[MldConfig] = None,
+        iface: Optional[Interface] = None,
+    ) -> None:
+        self.node = node
+        self.config = config or MldConfig()
+        self._pinned_iface = iface
+        self.groups: Set[Address] = set()
+        self._response_timers: Dict[Address, Timer] = {}
+        #: groups whose most recent Report on the link was ours
+        self._last_reporter: Set[Address] = set()
+        self._rng = node.rng.stream(f"mld.host.{node.name}")
+        node.register_message_handler(MldQuery, self._on_query)
+        node.register_message_handler(MldReport, self._on_report_heard)
+
+    # ------------------------------------------------------------------
+    def iface(self) -> Optional[Interface]:
+        """The interface MLD signaling uses (first attached by default)."""
+        if self._pinned_iface is not None:
+            return self._pinned_iface if self._pinned_iface.attached else None
+        return next((i for i in self.node.interfaces if i.attached), None)
+
+    def _source_address(self, iface: Interface) -> Optional[Address]:
+        for addr in iface.addresses:
+            if not addr.is_multicast:
+                return addr
+        return None
+
+    # ------------------------------------------------------------------
+    # membership API
+    # ------------------------------------------------------------------
+    def join(self, group: Address, send_unsolicited: bool = True) -> None:
+        """Join ``group``; optionally announce with unsolicited Reports."""
+        group = Address(group)
+        if not group.is_multicast:
+            raise ValueError(f"{group} is not a multicast group")
+        self.groups.add(group)
+        if isinstance(self.node, Host):
+            self.node.joined_groups.add(group)
+        self.node.trace("mld", event="join", group=str(group))
+        if send_unsolicited:
+            self._send_unsolicited_burst(group)
+
+    def leave(self, group: Address, send_done: bool = True) -> None:
+        """Leave ``group``; optionally signal Done to the routers."""
+        group = Address(group)
+        self.groups.discard(group)
+        if isinstance(self.node, Host):
+            self.node.joined_groups.discard(group)
+        self._cancel_timer(group)
+        self.node.trace("mld", event="leave", group=str(group))
+        if self.config.done_only_if_last_reporter and group not in self._last_reporter:
+            send_done = False  # someone else reported last (RFC 2710 §4)
+        self._last_reporter.discard(group)
+        iface = self.iface()
+        if send_done and iface is not None:
+            src = self._source_address(iface)
+            if src is not None:
+                packet = Ipv6Packet(src, ALL_ROUTERS, MldDone(group), hop_limit=1)
+                self.node.send_on(iface, packet)
+                self.node.trace("mld", event="done-sent", group=str(group))
+
+    def suspend(self) -> None:
+        """Silently drop all link-local membership state (no Done sent).
+
+        Used by mobile hosts switching to home-agent-tunnel reception:
+        while away they must not answer Queries on the foreign link for
+        groups they receive through the tunnel.
+        """
+        for timer in self._response_timers.values():
+            timer.stop()
+        self._response_timers.clear()
+        if isinstance(self.node, Host):
+            self.node.joined_groups -= set(self.groups)
+        self.groups.clear()
+
+    def after_move(self) -> None:
+        """Re-announce memberships after attaching to a new link.
+
+        Implements the paper's recommendation: "mobile hosts should send
+        unsolicited REPORTS after moving to a new link" (§4.3.1).  When
+        disabled in the config, the host instead waits for the next
+        Query — the slow path whose delay Section 4.4 quantifies.
+        """
+        for timer in self._response_timers.values():
+            timer.stop()
+        self._response_timers.clear()
+        if self.config.unsolicited_reports_on_move:
+            for group in sorted(self.groups):
+                self._send_unsolicited_burst(group)
+
+    # ------------------------------------------------------------------
+    # protocol handlers
+    # ------------------------------------------------------------------
+    def _on_query(self, packet: Ipv6Packet, query: MldQuery, iface: Interface) -> None:
+        my_iface = self.iface()
+        if my_iface is None or iface is not my_iface:
+            return
+        targets = (
+            sorted(self.groups)
+            if query.is_general
+            else ([query.group] if query.group in self.groups else [])
+        )
+        for group in targets:
+            delay = self._rng.uniform(0.0, query.max_response_delay)
+            self._arm_timer(group, delay)
+
+    def _on_report_heard(
+        self, packet: Ipv6Packet, report: MldReport, iface: Interface
+    ) -> None:
+        # Another listener answered for this group: suppress our response.
+        if report.group in self.groups and packet.src not in [
+            a for i in self.node.interfaces for a in i.addresses
+        ]:
+            self._last_reporter.discard(report.group)
+            timer = self._response_timers.get(report.group)
+            if timer is not None and timer.running:
+                timer.stop()
+                self.node.trace("mld", event="suppressed", group=str(report.group))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _arm_timer(self, group: Address, delay: float) -> None:
+        timer = self._response_timers.get(group)
+        if timer is None:
+            timer = Timer(
+                self.node.sim,
+                lambda g=group: self._respond(g),
+                name=f"{self.node.name}.mld.resp.{group}",
+            )
+            self._response_timers[group] = timer
+        if timer.running and timer.remaining is not None and timer.remaining <= delay:
+            return  # keep the earlier deadline (RFC 2710 §4 rule 2)
+        timer.start(delay)
+
+    def _cancel_timer(self, group: Address) -> None:
+        timer = self._response_timers.pop(group, None)
+        if timer is not None:
+            timer.stop()
+
+    def _respond(self, group: Address) -> None:
+        if group in self.groups:
+            self._send_report(group)
+
+    def _send_report(self, group: Address) -> bool:
+        iface = self.iface()
+        if iface is None:
+            return False
+        src = self._source_address(iface)
+        if src is None:
+            return False
+        packet = Ipv6Packet(src, group, MldReport(group), hop_limit=1)
+        self.node.send_on(iface, packet)
+        self._last_reporter.add(group)
+        self.node.trace("mld", event="report-sent", group=str(group))
+        return True
+
+    def _send_unsolicited_burst(self, group: Address) -> None:
+        """Robustness-many unsolicited Reports, first one immediately."""
+        self._send_report(group)
+        for k in range(1, self.config.unsolicited_report_count):
+            self.node.sim.schedule(
+                k * self.config.unsolicited_report_interval,
+                self._resend_unsolicited,
+                group,
+                label=f"{self.node.name}.mld.unsol.{group}",
+            )
+
+    def _resend_unsolicited(self, group: Address) -> None:
+        if group in self.groups:
+            self._send_report(group)

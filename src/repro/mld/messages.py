@@ -1,0 +1,75 @@
+"""MLD message types (RFC 2710 §3).
+
+All three MLD message types share one ICMPv6 format: Type, Code,
+Checksum, Maximum Response Delay, Reserved, Multicast Address —
+8 + 16 = 24 bytes of ICMPv6 payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.addressing import Address
+from ..net.messages import Message
+
+__all__ = ["MldMessage", "MldQuery", "MldReport", "MldDone", "MLD_MESSAGE_BYTES"]
+
+#: ICMPv6 MLD message body size (RFC 2710 §3).
+MLD_MESSAGE_BYTES = 24
+
+
+class MldMessage(Message):
+    """Common base for the three MLD message types."""
+
+    protocol = "mld"
+
+    @property
+    def size_bytes(self) -> int:
+        return MLD_MESSAGE_BYTES
+
+
+@dataclass(frozen=True)
+class MldQuery(MldMessage):
+    """Multicast Listener Query.
+
+    ``group`` is None for a General Query (sent to ff02::1) and the
+    queried address for a Multicast-Address-Specific Query.
+    ``max_response_delay`` is in seconds (the wire field is ms).
+    """
+
+    group: Optional[Address] = None
+    max_response_delay: float = 10.0
+
+    @property
+    def is_general(self) -> bool:
+        return self.group is None
+
+    def describe(self) -> str:
+        kind = "general" if self.is_general else f"specific({self.group})"
+        return f"MLD-Query[{kind}]"
+
+
+@dataclass(frozen=True)
+class MldReport(MldMessage):
+    """Multicast Listener Report for one group (sent to the group)."""
+
+    group: Address
+
+    def describe(self) -> str:
+        return f"MLD-Report[{self.group}]"
+
+
+@dataclass(frozen=True)
+class MldDone(MldMessage):
+    """Multicast Listener Done (sent to ff02::2, link-scope all-routers).
+
+    The paper notes (§4.4) that mobile hosts *cannot* send Done when
+    they leave a link — they are already gone — which is exactly why the
+    leave delay is bounded only by T_MLI.
+    """
+
+    group: Address
+
+    def describe(self) -> str:
+        return f"MLD-Done[{self.group}]"

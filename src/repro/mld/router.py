@@ -1,0 +1,308 @@
+"""MLD router part (RFC 2710 §4, router behaviour).
+
+Implements the router side of MLD on every interface of a multicast
+router:
+
+* querier election (lowest address on the link wins; a router that
+  hears a Query from a lower address becomes a non-querier until the
+  Other-Querier-Present interval lapses),
+* periodic General Queries every T_Query (startup: a burst at
+  T_Query/4), the knob Section 4.4 tunes,
+* per-(interface, group) membership state refreshed by Reports and
+  expired after the Multicast Listener Interval
+  T_MLI = Robustness · T_Query + T_RespDel — the paper's *leave delay*
+  bound of 260 s,
+* Done processing: Last-Listener Queries and fast expiry,
+* static memberships: local joins by the router itself (a home agent
+  subscribing on behalf of its mobile nodes) that never expire,
+* change notifications to the multicast routing protocol (PIM-DM), as
+  required by RFC 2710 §5 and paper §3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..net.addressing import ALL_NODES, Address
+from ..net.interface import Interface
+from ..net.node import Node
+from ..net.packet import Ipv6Packet
+from ..sim import PeriodicTimer, Timer
+from .config import MldConfig
+from .messages import MldDone, MldQuery, MldReport
+
+__all__ = ["MldRouter"]
+
+#: listener signature: (iface, group, present)
+MembershipListener = Callable[[Interface, Address, bool], None]
+
+
+@dataclass
+class _IfaceState:
+    iface: Interface
+    querier: bool = True
+    query_timer: Optional[PeriodicTimer] = None
+    other_querier_timer: Optional[Timer] = None
+    startup_queries_left: int = 0
+    queries_sent: int = 0
+
+
+@dataclass
+class _Membership:
+    iface: Interface
+    group: Address
+    timer: Optional[Timer] = None
+    static_refcount: int = 0
+    reported: bool = False
+
+    @property
+    def active(self) -> bool:
+        return self.static_refcount > 0 or (
+            self.timer is not None and self.timer.running
+        )
+
+
+class MldRouter:
+    """Router-side MLD engine for one multicast router."""
+
+    def __init__(self, node: Node, config: Optional[MldConfig] = None) -> None:
+        self.node = node
+        self.config = config or MldConfig()
+        self._ifaces: Dict[int, _IfaceState] = {}
+        self._memberships: Dict[Tuple[int, int], _Membership] = {}
+        self._listeners: List[MembershipListener] = []
+        node.register_message_handler(MldReport, self._on_report)
+        node.register_message_handler(MldDone, self._on_done)
+        node.register_message_handler(MldQuery, self._on_query_heard)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Assume querier duty on all currently attached interfaces."""
+        for iface in self.node.interfaces:
+            if iface.attached:
+                self.manage_interface(iface)
+
+    def manage_interface(self, iface: Interface) -> None:
+        if iface.uid in self._ifaces:
+            return
+        state = _IfaceState(iface=iface)
+        state.startup_queries_left = self.config.startup_query_count
+        state.query_timer = PeriodicTimer(
+            self.node.sim,
+            lambda s=state: self._query_tick(s),
+            period=self.config.startup_query_interval,
+            name=f"{self.node.name}.mld.query.{iface.name}",
+        )
+        self._ifaces[iface.uid] = state
+        state.query_timer.start(fire_immediately=True)
+
+    def on_membership_change(self, listener: MembershipListener) -> None:
+        """Subscribe the multicast routing protocol to add/delete events."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # queries (querier duties)
+    # ------------------------------------------------------------------
+    def _query_tick(self, state: _IfaceState) -> None:
+        if not state.querier or not state.iface.attached:
+            return
+        self._send_query(state.iface, group=None)
+        state.queries_sent += 1
+        if state.startup_queries_left > 0:
+            state.startup_queries_left -= 1
+            if state.startup_queries_left == 0:
+                state.query_timer.set_period(self.config.query_interval)
+
+    def _send_query(self, iface: Interface, group: Optional[Address]) -> None:
+        src = self._address_on(iface)
+        if src is None:
+            return
+        mrd = (
+            self.config.query_response_interval
+            if group is None
+            else self.config.last_listener_query_interval
+        )
+        dst = ALL_NODES if group is None else group
+        packet = Ipv6Packet(src, dst, MldQuery(group, mrd), hop_limit=1)
+        self.node.send_on(iface, packet)
+        self.node.trace(
+            "mld",
+            event="query-sent",
+            iface=iface.name,
+            general=group is None,
+            group=str(group) if group else None,
+        )
+
+    def _on_query_heard(
+        self, packet: Ipv6Packet, query: MldQuery, iface: Interface
+    ) -> None:
+        state = self._ifaces.get(iface.uid)
+        if state is None:
+            return
+        ours = self._address_on(iface)
+        if ours is None or packet.src >= ours:
+            return  # we win (or tie); stay querier
+        # Lower-addressed querier present: stand down (RFC 2710 §6).
+        if state.querier:
+            state.querier = False
+            self.node.trace("mld", event="querier-standdown", iface=iface.name)
+        if state.other_querier_timer is None:
+            state.other_querier_timer = Timer(
+                self.node.sim,
+                lambda s=state: self._resume_querier(s),
+                name=f"{self.node.name}.mld.otherq.{iface.name}",
+            )
+        state.other_querier_timer.start(self.config.other_querier_present_interval)
+
+    def _resume_querier(self, state: _IfaceState) -> None:
+        state.querier = True
+        self.node.trace("mld", event="querier-resume", iface=state.iface.name)
+
+    def is_querier(self, iface: Interface) -> bool:
+        state = self._ifaces.get(iface.uid)
+        return state is not None and state.querier
+
+    # ------------------------------------------------------------------
+    # membership learning
+    # ------------------------------------------------------------------
+    def _on_report(
+        self, packet: Ipv6Packet, report: MldReport, iface: Interface
+    ) -> None:
+        if iface.uid not in self._ifaces:
+            return
+        if report.group.is_link_scope_multicast:
+            return
+        record = self._record_for(iface, report.group)
+        fresh = not record.active
+        if record.timer is None:
+            record.timer = Timer(
+                self.node.sim,
+                lambda r=record: self._membership_expired(r),
+                name=f"{self.node.name}.mld.mli.{iface.name}.{report.group}",
+            )
+        record.timer.start(self.config.multicast_listener_interval)
+        record.reported = True
+        if fresh:
+            self.node.trace(
+                "mld", event="members-detected", iface=iface.name, link=iface.link.name if iface.link else None, group=str(report.group)
+            )
+            self._notify(iface, report.group, True)
+
+    def _on_done(self, packet: Ipv6Packet, done: MldDone, iface: Interface) -> None:
+        state = self._ifaces.get(iface.uid)
+        if state is None:
+            return
+        key = (iface.uid, done.group.as_int())
+        record = self._memberships.get(key)
+        if record is None or record.timer is None or not record.timer.running:
+            return
+        # Lower the membership timer to LLQC * LLQI and (querier only)
+        # probe with Multicast-Address-Specific Queries.
+        llq_window = (
+            self.config.last_listener_query_count
+            * self.config.last_listener_query_interval
+        )
+        record.timer.start(llq_window)
+        if state.querier:
+            for k in range(self.config.last_listener_query_count):
+                self.node.sim.schedule(
+                    k * self.config.last_listener_query_interval,
+                    self._send_query,
+                    iface,
+                    done.group,
+                    label=f"{self.node.name}.mld.llq",
+                )
+
+    def _membership_expired(self, record: _Membership) -> None:
+        record.timer = None
+        if record.static_refcount > 0:
+            return  # still held by a local (static) join
+        self.node.trace(
+            "mld",
+            event="members-gone",
+            iface=record.iface.name,
+            link=record.iface.link.name if record.iface.link else None,
+            group=str(record.group),
+        )
+        self._drop_record(record)
+        self._notify(record.iface, record.group, False)
+
+    # ------------------------------------------------------------------
+    # static (local) memberships
+    # ------------------------------------------------------------------
+    def add_static_membership(self, iface: Interface, group: Address) -> None:
+        """Register a local join by this router itself (e.g. a home agent
+        subscribing on behalf of a mobile node, paper §4.3.2)."""
+        group = Address(group)
+        record = self._record_for(iface, group)
+        fresh = not record.active
+        record.static_refcount += 1
+        if fresh:
+            self.node.trace(
+                "mld", event="static-join", iface=iface.name, link=iface.link.name if iface.link else None, group=str(group)
+            )
+            self._notify(iface, group, True)
+
+    def remove_static_membership(self, iface: Interface, group: Address) -> None:
+        group = Address(group)
+        key = (iface.uid, group.as_int())
+        record = self._memberships.get(key)
+        if record is None or record.static_refcount == 0:
+            return
+        record.static_refcount -= 1
+        if not record.active:
+            self.node.trace(
+                "mld", event="static-leave", iface=iface.name, link=iface.link.name if iface.link else None, group=str(group)
+            )
+            self._drop_record(record)
+            self._notify(iface, group, False)
+
+    # ------------------------------------------------------------------
+    # queries from the routing protocol
+    # ------------------------------------------------------------------
+    def has_members(self, iface: Interface, group: Address) -> bool:
+        record = self._memberships.get((iface.uid, Address(group).as_int()))
+        return record is not None and record.active
+
+    def groups_on(self, iface: Interface) -> Set[Address]:
+        return {
+            r.group
+            for (iface_uid, _), r in self._memberships.items()
+            if iface_uid == iface.uid and r.active
+        }
+
+    def membership_expiry(self, iface: Interface, group: Address) -> Optional[float]:
+        """Absolute time the membership would expire (None if static/absent)."""
+        record = self._memberships.get((iface.uid, Address(group).as_int()))
+        if record is None or record.timer is None:
+            return None
+        return record.timer.expires_at
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _record_for(self, iface: Interface, group: Address) -> _Membership:
+        key = (iface.uid, group.as_int())
+        record = self._memberships.get(key)
+        if record is None:
+            record = _Membership(iface=iface, group=group)
+            self._memberships[key] = record
+        return record
+
+    def _drop_record(self, record: _Membership) -> None:
+        if record.timer is not None:
+            record.timer.stop()
+        self._memberships.pop((record.iface.uid, record.group.as_int()), None)
+
+    def _notify(self, iface: Interface, group: Address, present: bool) -> None:
+        for listener in self._listeners:
+            listener(iface, group, present)
+
+    def _address_on(self, iface: Interface) -> Optional[Address]:
+        for addr in iface.addresses:
+            if not addr.is_multicast:
+                return addr
+        return None

@@ -1,0 +1,5 @@
+"""Mobility models for mobile nodes."""
+
+from .models import PoissonMobility, RandomWaypointMobility, ScriptedMobility
+
+__all__ = ["PoissonMobility", "RandomWaypointMobility", "ScriptedMobility"]

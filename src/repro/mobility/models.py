@@ -1,0 +1,135 @@
+"""Mobility models driving mobile-node movement.
+
+The §4.3 comparison depends on the *mobility rate* of senders and
+receivers ("the wasted capacity depends mainly on ... the mobility rate
+of the sender").  Three models:
+
+* :class:`ScriptedMobility` — an explicit (time, link) schedule; used
+  by the figure reproductions (Receiver 3 moves Link 4 → Link 6 at
+  t = 300 s, etc.),
+* :class:`RandomWaypointMobility` — after a uniformly distributed dwell
+  time, move to a uniformly chosen other link,
+* :class:`PoissonMobility` — exponential dwell times with a given rate
+  (moves/s), the natural "mobility rate" knob for the sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..mipv6.mobile_node import MobileNode
+from ..net.link import Link
+
+__all__ = ["ScriptedMobility", "RandomWaypointMobility", "PoissonMobility"]
+
+
+class ScriptedMobility:
+    """Replays an explicit movement schedule."""
+
+    def __init__(self, node: MobileNode, schedule: Sequence[Tuple[float, Link]]) -> None:
+        self.node = node
+        self.schedule = sorted(schedule, key=lambda entry: entry[0])
+        self.moves_done = 0
+
+    def start(self) -> None:
+        for time, link in self.schedule:
+            self.node.sim.schedule_at(
+                time, self._move, link, label=f"{self.node.name}.scripted-move"
+            )
+
+    def _move(self, link: Link) -> None:
+        self.moves_done += 1
+        self.node.move_to(link)
+
+
+class _RandomMobilityBase:
+    """Common machinery for the stochastic models."""
+
+    def __init__(
+        self,
+        node: MobileNode,
+        links: Sequence[Link],
+        include_home: bool = True,
+        max_moves: Optional[int] = None,
+    ) -> None:
+        if len(links) < 2:
+            raise ValueError("need at least two candidate links")
+        self.node = node
+        self.links: List[Link] = list(links)
+        self.include_home = include_home
+        self.max_moves = max_moves
+        self.moves_done = 0
+        self.move_times: List[float] = []
+        self._rng = node.rng.stream(f"mobility.{node.name}")
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _dwell(self) -> float:
+        raise NotImplementedError
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        if self.max_moves is not None and self.moves_done >= self.max_moves:
+            return
+        self.node.sim.schedule(
+            self._dwell(), self._move, label=f"{self.node.name}.random-move"
+        )
+
+    def _move(self) -> None:
+        if not self._running:
+            return
+        candidates = [
+            link
+            for link in self.links
+            if link is not self.node.current_link
+            and (self.include_home or link is not self.node.home_link)
+        ]
+        if candidates:
+            target = self._rng.choice(candidates)
+            self.moves_done += 1
+            self.move_times.append(self.node.sim.now)
+            self.node.move_to(target)
+        self._schedule_next()
+
+
+class RandomWaypointMobility(_RandomMobilityBase):
+    """Uniform dwell time in [min_dwell, max_dwell], uniform next link."""
+
+    def __init__(
+        self,
+        node: MobileNode,
+        links: Sequence[Link],
+        min_dwell: float = 30.0,
+        max_dwell: float = 300.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(node, links, **kwargs)
+        if not 0 < min_dwell <= max_dwell:
+            raise ValueError("need 0 < min_dwell <= max_dwell")
+        self.min_dwell = min_dwell
+        self.max_dwell = max_dwell
+
+    def _dwell(self) -> float:
+        return self._rng.uniform(self.min_dwell, self.max_dwell)
+
+
+class PoissonMobility(_RandomMobilityBase):
+    """Exponential dwell times: ``rate`` moves per second on average."""
+
+    def __init__(
+        self, node: MobileNode, links: Sequence[Link], rate: float, **kwargs
+    ) -> None:
+        super().__init__(node, links, **kwargs)
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def _dwell(self) -> float:
+        return self._rng.expovariate(self.rate)

@@ -1,0 +1,49 @@
+"""Network substrate: addressing, packets, links, nodes, routing."""
+
+from .addressing import (
+    ALL_NODES,
+    ALL_PIM_ROUTERS,
+    ALL_ROUTERS,
+    UNSPECIFIED,
+    Address,
+    Prefix,
+    is_multicast,
+    make_multicast_group,
+)
+from .interface import Interface
+from .link import Link
+from .messages import ApplicationData, ControlPayload, Message
+from .node import Host, Node
+from .packet import IPV6_HEADER_BYTES, DestinationOption, Ipv6Packet
+from .routing import RouteEntry, RoutingTable, compute_router_fibs
+from .stats import CATEGORIES, LinkStats, NetworkStats, classify_packet
+from .topology import Network
+
+__all__ = [
+    "ALL_NODES",
+    "ALL_PIM_ROUTERS",
+    "ALL_ROUTERS",
+    "UNSPECIFIED",
+    "Address",
+    "ApplicationData",
+    "CATEGORIES",
+    "ControlPayload",
+    "DestinationOption",
+    "Host",
+    "IPV6_HEADER_BYTES",
+    "Interface",
+    "Ipv6Packet",
+    "Link",
+    "LinkStats",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Node",
+    "Prefix",
+    "RouteEntry",
+    "RoutingTable",
+    "classify_packet",
+    "compute_router_fibs",
+    "is_multicast",
+    "make_multicast_group",
+]

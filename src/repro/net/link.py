@@ -1,0 +1,188 @@
+"""Multi-access links.
+
+A :class:`Link` models one of the paper's Links 1–6: a broadcast-capable
+subnet (think Ethernet or a wireless cell) with
+
+* one IPv6 prefix,
+* a propagation delay and a bandwidth (serialization is FIFO per link),
+* link-layer addressing: a unicast frame is delivered only to the
+  resolved next hop; multicast/unresolved frames are delivered to every
+  other attached interface (this is what lets MLD Reports reach all
+  routers and lets parallel routers — B and C in Figure 1 — both pick
+  up multicast data, triggering the PIM-DM assert process).
+
+Address resolution is implicit (a neighbor-cache per link mapping each
+attached interface's addresses to the interface).  Mobile IPv6's
+home-agent intercept is modelled exactly the way the protocol does it:
+the HA registers the mobile node's home address on the home link as a
+*proxy* entry, so unicast frames for the MN resolve to the HA.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..sim import Simulator, Tracer
+from .addressing import Address, Prefix
+from .packet import Ipv6Packet
+from .stats import NetworkStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interface import Interface
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A multi-access link with a prefix, delay, and bandwidth."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        prefix: Prefix,
+        delay: float = 0.5e-3,
+        bandwidth_bps: float = 100e6,
+        tracer: Optional[Tracer] = None,
+        stats: Optional[NetworkStats] = None,
+        loss_rate: float = 0.0,
+        rng=None,
+    ) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.name = name
+        self.prefix = Prefix(prefix)
+        self.delay = delay
+        self.bandwidth_bps = bandwidth_bps
+        self.tracer = tracer
+        self.stats = stats
+        #: per-receiver frame loss probability (models a lossy wireless
+        #: cell; the robustness machinery of MLD/Mobile IPv6 — repeated
+        #: unsolicited Reports, Binding Update retransmission — exists
+        #: for exactly this)
+        self.loss_rate = loss_rate
+        self._loss_rng = rng.stream(f"link.loss.{name}") if rng else None
+        self.frames_lost = 0
+        self.interfaces: List["Interface"] = []
+        #: neighbor cache: address -> owning interface (plus proxy entries)
+        self._neighbor_cache: Dict[Address, "Interface"] = {}
+        self._busy_until = 0.0
+
+    # ------------------------------------------------------------------
+    # attachment & address resolution
+    # ------------------------------------------------------------------
+    def attach(self, iface: "Interface") -> None:
+        if iface in self.interfaces:
+            raise ValueError(f"{iface} already attached to {self.name}")
+        self.interfaces.append(iface)
+        for addr in iface.addresses:
+            self._neighbor_cache[addr] = iface
+
+    def detach(self, iface: "Interface") -> None:
+        self.interfaces.remove(iface)
+        stale = [a for a, i in self._neighbor_cache.items() if i is iface]
+        for addr in stale:
+            del self._neighbor_cache[addr]
+
+    def register_address(self, iface: "Interface", address: Address) -> None:
+        """Bind an address to an attached interface (autoconfiguration,
+        or a home agent registering a proxy entry for a mobile node)."""
+        if iface not in self.interfaces:
+            raise ValueError(f"{iface} not attached to {self.name}")
+        self._neighbor_cache[Address(address)] = iface
+
+    def unregister_address(self, address: Address) -> None:
+        self._neighbor_cache.pop(Address(address), None)
+
+    def resolve(self, address: Address) -> Optional["Interface"]:
+        """Neighbor-cache lookup: which attached interface owns ``address``?"""
+        return self._neighbor_cache.get(Address(address))
+
+    def nodes(self) -> List[object]:
+        """The nodes currently attached via this link's interfaces."""
+        return [iface.node for iface in self.interfaces]
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        sender: "Interface",
+        packet: Ipv6Packet,
+        l2_dst: Optional["Interface"] = None,
+    ) -> None:
+        """Send ``packet`` from ``sender`` onto the link.
+
+        ``l2_dst`` selects unicast frame delivery; ``None`` floods the
+        frame to every other attached interface (multicast/broadcast).
+        Serialization is FIFO per link: back-to-back packets queue
+        behind each other at the link's bandwidth.
+        """
+        if sender not in self.interfaces:
+            return  # interface went down before the send fired
+        if l2_dst is None and not packet.dst.is_multicast:
+            # Unicast frames need a resolved link-layer destination; an
+            # unresolvable neighbor (e.g. a stale care-of address after
+            # the mobile left) means neighbor discovery fails -> drop.
+            # Flooding unicast frames would bounce them between routers.
+            l2_dst = self.resolve(packet.dst)
+            if l2_dst is None:
+                if self.tracer is not None:
+                    self.tracer.record(
+                        "drop", self.name, reason="nd-failure", dst=str(packet.dst)
+                    )
+                return
+        if self.stats is not None:
+            self.stats.account(self.name, packet)
+        if self.tracer is not None:
+            self.tracer.record(
+                "link",
+                self.name,
+                packet=packet.describe(),
+                size=packet.size_bytes,
+                sender=sender.node.name,
+            )
+
+        tx_time = packet.size_bytes * 8 / self.bandwidth_bps
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + tx_time
+        arrival = start + tx_time + self.delay
+
+        if l2_dst is not None:
+            self.sim.schedule_at(
+                arrival, self._deliver_one, l2_dst, packet, label=f"{self.name}.rx"
+            )
+        else:
+            for iface in list(self.interfaces):
+                if iface is sender:
+                    continue
+                self.sim.schedule_at(
+                    arrival, self._deliver_one, iface, packet, label=f"{self.name}.rx"
+                )
+
+    def _deliver_one(self, iface: "Interface", packet: Ipv6Packet) -> None:
+        # The interface may have detached (mobile node moved) while the
+        # frame was in flight; such frames are lost, which is exactly the
+        # packet loss during handoff the paper's join-delay metric counts.
+        if iface not in self.interfaces:
+            return
+        if (
+            self.loss_rate > 0.0
+            and self._loss_rng is not None
+            and self._loss_rng.random() < self.loss_rate
+        ):
+            self.frames_lost += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    "drop", self.name, reason="link-loss", receiver=iface.node.name
+                )
+            return
+        iface.deliver(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.prefix} n={len(self.interfaces)}>"

@@ -1,0 +1,163 @@
+"""Unicast routing: FIB entries and shortest-path route computation.
+
+PIM-DM is *protocol independent*: it relies on whatever unicast routing
+the network runs, using it for (a) Reverse-Path-Forwarding checks — the
+incoming interface of an (S,G) entry is the interface the router uses
+to reach S by unicast (paper §3.1) — and (b) the routing metric carried
+in Assert messages.
+
+The reproduction computes hop-count shortest paths over the
+router/link topology with a BFS per destination link (all links have
+unit cost; ties are broken deterministically by link then router name so
+every run builds the same trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .addressing import Address, Prefix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interface import Interface
+    from .link import Link
+    from .node import Node
+
+__all__ = ["RouteEntry", "RoutingTable", "compute_router_fibs"]
+
+
+@dataclass
+class RouteEntry:
+    """One FIB entry: how to reach ``prefix``.
+
+    ``next_hop`` is None for on-link (directly connected) prefixes.
+    ``metric`` is the hop count (number of links a packet crosses to
+    reach the destination link, counting that link) — the metric that
+    PIM-DM Assert messages compare.
+    """
+
+    prefix: Prefix
+    iface: "Interface"
+    next_hop: Optional[Address]
+    metric: int
+
+    @property
+    def connected(self) -> bool:
+        return self.next_hop is None
+
+
+class RoutingTable:
+    """Per-node FIB with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Prefix, RouteEntry] = {}
+
+    def install(self, entry: RouteEntry) -> None:
+        self._entries[entry.prefix] = entry
+
+    def remove(self, prefix: Prefix) -> None:
+        self._entries.pop(Prefix(prefix), None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def lookup(self, dst: Address) -> Optional[RouteEntry]:
+        """Longest-prefix-match for ``dst``."""
+        dst = Address(dst)
+        best: Optional[RouteEntry] = None
+        for entry in self._entries.values():
+            if entry.prefix.contains(dst):
+                if best is None or entry.prefix.prefix_len > best.prefix.prefix_len:
+                    best = entry
+        return best
+
+    def entries(self) -> List[RouteEntry]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def compute_router_fibs(
+    routers: List["Node"], links: List["Link"]
+) -> Dict[Tuple[str, str], RouteEntry]:
+    """Compute and install shortest-path FIBs on every router.
+
+    Runs one BFS per destination link over the bipartite router/link
+    graph.  Returns the installed entries keyed by
+    ``(router_name, str(prefix))`` for inspection by tests.
+    """
+    installed: Dict[Tuple[str, str], RouteEntry] = {}
+
+    # Adjacency: for each router, its (link, iface) attachments.
+    attachments: Dict[str, List[Tuple["Link", "Interface"]]] = {}
+    for router in routers:
+        pairs = [
+            (iface.link, iface) for iface in router.interfaces if iface.link is not None
+        ]
+        attachments[router.name] = sorted(pairs, key=lambda p: p[0].name)
+
+    routers_by_name = {r.name: r for r in routers}
+    router_names_on_link: Dict[str, List[str]] = {}
+    for link in links:
+        names = sorted(
+            iface.node.name
+            for iface in link.interfaces
+            if iface.node.name in routers_by_name
+        )
+        router_names_on_link[link.name] = names
+
+    for dest_link in links:
+        # BFS over routers; dist = links crossed to deliver onto dest_link.
+        dist: Dict[str, int] = {}
+        via: Dict[str, Tuple["Interface", Optional[Address]]] = {}
+        frontier: List[str] = []
+        for name in router_names_on_link[dest_link.name]:
+            router = routers_by_name[name]
+            iface = next(i for i in router.interfaces if i.link is dest_link)
+            dist[name] = 1
+            via[name] = (iface, None)
+            frontier.append(name)
+        frontier.sort()
+
+        while frontier:
+            next_frontier: List[str] = []
+            for name in frontier:
+                router = routers_by_name[name]
+                for link, _iface in attachments[name]:
+                    if link is dest_link:
+                        continue
+                    for neigh_name in router_names_on_link[link.name]:
+                        if neigh_name == name or neigh_name in dist:
+                            continue
+                        neighbor = routers_by_name[neigh_name]
+                        out_iface = next(
+                            i for i in neighbor.interfaces if i.link is link
+                        )
+                        # Address of the already-reached router on the
+                        # shared link = our next hop toward dest_link.
+                        next_hop = _router_address_on_link(router, link)
+                        dist[neigh_name] = dist[name] + 1
+                        via[neigh_name] = (out_iface, next_hop)
+                        next_frontier.append(neigh_name)
+            frontier = sorted(set(next_frontier))
+
+        for name, metric in dist.items():
+            iface, next_hop = via[name]
+            entry = RouteEntry(
+                prefix=dest_link.prefix, iface=iface, next_hop=next_hop, metric=metric
+            )
+            routers_by_name[name].routing.install(entry)
+            installed[(name, str(dest_link.prefix))] = entry
+
+    return installed
+
+
+def _router_address_on_link(router: "Node", link: "Link") -> Address:
+    """The router's global address on ``link`` (used as a next hop)."""
+    iface = next(i for i in router.interfaces if i.link is link)
+    for addr in iface.addresses:
+        if not addr.is_link_local and not addr.is_multicast:
+            return addr
+    raise ValueError(f"{router.name} has no global address on {link.name}")

@@ -1,0 +1,145 @@
+"""Per-link bandwidth accounting by traffic category.
+
+Section 4.3 of the paper compares the four delivery approaches on
+*bandwidth consumption*, split into
+
+* useful vs. **wasted multicast data** (data forwarded onto links with
+  no group members — the leave-delay and re-flood costs),
+* **tunnel overhead** (extra outer IPv6 headers on every tunneled
+  datagram),
+* **signaling** (MLD Queries/Reports, PIM control, Mobile IPv6 Binding
+  Updates).
+
+Every transmission on a :class:`~repro.net.link.Link` is classified
+here and charged to the link's counters; experiment code reads the
+aggregates afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
+
+from .packet import Ipv6Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .link import Link
+
+__all__ = ["classify_packet", "LinkStats", "NetworkStats", "CATEGORIES"]
+
+#: All categories charged by :func:`classify_packet`.
+CATEGORIES = (
+    "mcast_data",
+    "unicast_data",
+    "mld",
+    "pim",
+    "mipv6",
+    "tunnel_overhead",
+)
+
+
+def classify_packet(packet: Ipv6Packet) -> str:
+    """Classify a packet by its innermost payload.
+
+    Tunneled packets classify as their inner content; the encapsulation
+    bytes are charged separately to ``tunnel_overhead`` by the caller
+    (see :meth:`LinkStats.account`).
+    """
+    message = packet.innermost_message()
+    proto = message.protocol
+    if proto == "app":
+        return "mcast_data" if packet.inner.dst.is_multicast else "unicast_data"
+    return proto
+
+
+@dataclass
+class LinkStats:
+    """Byte/packet counters for one link."""
+
+    bytes_by_category: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    packets_by_category: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def account(self, packet: Ipv6Packet) -> str:
+        """Charge one transmission; returns the category used."""
+        category = classify_packet(packet)
+        overhead = packet.overhead_bytes
+        self.bytes_by_category[category] += packet.size_bytes - overhead
+        self.packets_by_category[category] += 1
+        if overhead:
+            self.bytes_by_category["tunnel_overhead"] += overhead
+        return category
+
+    def bytes(self, category: Optional[str] = None) -> int:
+        if category is None:
+            return sum(self.bytes_by_category.values())
+        return self.bytes_by_category.get(category, 0)
+
+    def packets(self, category: Optional[str] = None) -> int:
+        if category is None:
+            return sum(self.packets_by_category.values())
+        return self.packets_by_category.get(category, 0)
+
+
+class NetworkStats:
+    """Aggregated accounting across all links of a topology."""
+
+    def __init__(self) -> None:
+        self._per_link: Dict[str, LinkStats] = {}
+
+    def stats_for(self, link_name: str) -> LinkStats:
+        stats = self._per_link.get(link_name)
+        if stats is None:
+            stats = self._per_link[link_name] = LinkStats()
+        return stats
+
+    def account(self, link_name: str, packet: Ipv6Packet) -> str:
+        return self.stats_for(link_name).account(packet)
+
+    # ------------------------------------------------------------------
+    def link_bytes(self, link_name: str, category: Optional[str] = None) -> int:
+        return self.stats_for(link_name).bytes(category)
+
+    def link_packets(self, link_name: str, category: Optional[str] = None) -> int:
+        return self.stats_for(link_name).packets(category)
+
+    def total_bytes(
+        self,
+        category: Optional[str] = None,
+        links: Optional[Iterable[str]] = None,
+    ) -> int:
+        names = list(links) if links is not None else list(self._per_link)
+        return sum(self.stats_for(n).bytes(category) for n in names)
+
+    def total_packets(
+        self,
+        category: Optional[str] = None,
+        links: Optional[Iterable[str]] = None,
+    ) -> int:
+        names = list(links) if links is not None else list(self._per_link)
+        return sum(self.stats_for(n).packets(category) for n in names)
+
+    def signaling_bytes(self, links: Optional[Iterable[str]] = None) -> int:
+        """All protocol-control bytes (MLD + PIM + Mobile IPv6)."""
+        return sum(self.total_bytes(c, links) for c in ("mld", "pim", "mipv6"))
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Copy of all counters: link -> category -> bytes."""
+        return {
+            name: dict(stats.bytes_by_category)
+            for name, stats in self._per_link.items()
+        }
+
+    def render(self) -> str:
+        """Human-readable table of per-link byte counters."""
+        lines = [f"{'link':<10}" + "".join(f"{c:>16}" for c in CATEGORIES)]
+        for name in sorted(self._per_link):
+            stats = self._per_link[name]
+            lines.append(
+                f"{name:<10}" + "".join(f"{stats.bytes(c):>16}" for c in CATEGORIES)
+            )
+        return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Topology container: links + nodes + route computation + lifecycle.
+
+A :class:`Network` bundles the simulator, tracer, statistics, RNG, the
+links and nodes, and provides:
+
+* builders (``add_link``), registration for routers/hosts built by the
+  protocol packages,
+* unicast route computation (router FIBs + host default behaviour),
+* a ``start()`` that boots every registered protocol engine
+  (PIM-DM Hellos, MLD queriers, traffic sources),
+* shortest-path queries used by the routing-optimality metric (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim import RngRegistry, Simulator, Tracer
+from .addressing import Address, Prefix
+from .link import Link
+from .node import Node
+from .routing import compute_router_fibs
+from .stats import NetworkStats
+
+__all__ = ["Network"]
+
+
+class Network:
+    """The simulated network under test."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace_link_events: bool = False,
+    ) -> None:
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        disabled = () if trace_link_events else ("link",)
+        self.tracer = Tracer(self.sim, disabled_categories=disabled)
+        self.stats = NetworkStats()
+        self.links: Dict[str, Link] = {}
+        self.nodes: Dict[str, Node] = {}
+        self._startables: List[Callable[[], None]] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_link(
+        self,
+        name: str,
+        prefix: Prefix | str,
+        delay: float = 0.5e-3,
+        bandwidth_bps: float = 100e6,
+        loss_rate: float = 0.0,
+    ) -> Link:
+        if name in self.links:
+            raise ValueError(f"duplicate link {name!r}")
+        link = Link(
+            self.sim,
+            name,
+            Prefix(prefix),
+            delay=delay,
+            bandwidth_bps=bandwidth_bps,
+            tracer=self.tracer,
+            stats=self.stats,
+            loss_rate=loss_rate,
+            rng=self.rng,
+        )
+        self.links[name] = link
+        return link
+
+    def register_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def on_start(self, fn: Callable[[], None]) -> None:
+        """Register a protocol engine/traffic source boot hook."""
+        self._startables.append(fn)
+        if self._started:
+            fn()
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    def link(self, name: str) -> Link:
+        return self.links[name]
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def routers(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.is_router]
+
+    def hosts(self) -> List[Node]:
+        return [n for n in self.nodes.values() if not n.is_router]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def build_routes(self) -> None:
+        """(Re)compute every router's FIB from the current topology."""
+        for router in self.routers():
+            router.routing.clear()
+        compute_router_fibs(self.routers(), list(self.links.values()))
+
+    def shortest_path_links(self, from_link: str, to_link: str) -> int:
+        """Minimum number of links a packet crosses from a host on
+        ``from_link`` to a host on ``to_link`` (1 when equal: the link
+        itself).  Used to compute routing stretch (§4.3 optimality)."""
+        if from_link == to_link:
+            return 1
+        # BFS over links via routers.
+        dist = {from_link: 1}
+        frontier = [from_link]
+        while frontier:
+            nxt: List[str] = []
+            for link_name in frontier:
+                link = self.links[link_name]
+                for iface in link.interfaces:
+                    node = iface.node
+                    if not node.is_router:
+                        continue
+                    for other in node.interfaces:
+                        if other.link is None:
+                            continue
+                        name = other.link.name
+                        if name not in dist:
+                            dist[name] = dist[link_name] + 1
+                            nxt.append(name)
+            frontier = nxt
+        if to_link not in dist:
+            raise ValueError(f"no path {from_link} -> {to_link}")
+        return dist[to_link]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot all protocol engines.  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self.build_routes()
+        for fn in self._startables:
+            fn()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        if not self._started:
+            self.start()
+        self.sim.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: float) -> None:
+        self.run(until=self.sim.now + duration)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

@@ -1,0 +1,141 @@
+"""PIM version 2 message types used by Dense Mode.
+
+Sizes approximate the PIMv2 wire encodings (4-byte PIM header plus
+encoded unicast/group/source addresses, 18/20 bytes each for IPv6):
+
+* Hello: header + holdtime option                        ≈ 30 bytes
+* Join/Prune: header + upstream neighbor + 1 group
+  + 1 joined/pruned source                               ≈ 62 bytes
+* Graft / Graft-Ack: same format as Join/Prune           ≈ 62 bytes
+* Assert: header + group + source + metric words         ≈ 48 bytes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.addressing import Address
+from ..net.messages import Message
+
+__all__ = [
+    "PimMessage",
+    "PimHello",
+    "PimJoin",
+    "PimPrune",
+    "PimGraft",
+    "PimGraftAck",
+    "PimAssert",
+    "PimStateRefresh",
+]
+
+
+class PimMessage(Message):
+    """Common base for PIM control messages."""
+
+    protocol = "pim"
+
+
+@dataclass(frozen=True)
+class PimHello(PimMessage):
+    """PIM Hello: neighbor discovery/keepalive on each link."""
+
+    holdtime: float = 105.0
+
+    @property
+    def size_bytes(self) -> int:
+        return 30
+
+    def describe(self) -> str:
+        return "PIM-Hello"
+
+
+@dataclass(frozen=True)
+class _SgMessage(PimMessage):
+    source: Address
+    group: Address
+
+    @property
+    def size_bytes(self) -> int:
+        return 62
+
+
+@dataclass(frozen=True)
+class PimJoin(_SgMessage):
+    """Join — in DM used only to override a Prune heard on a LAN whose
+    traffic this router still needs (paper §3.1)."""
+
+    upstream_neighbor: Optional[Address] = None
+
+    def describe(self) -> str:
+        return f"PIM-Join[{self.source}->{self.group}]"
+
+
+@dataclass(frozen=True)
+class PimPrune(_SgMessage):
+    """Prune — stop forwarding (S,G) onto the link after T_PruneDel."""
+
+    upstream_neighbor: Optional[Address] = None
+    holdtime: float = 210.0
+
+    def describe(self) -> str:
+        return f"PIM-Prune[{self.source}->{self.group}]"
+
+
+@dataclass(frozen=True)
+class PimGraft(_SgMessage):
+    """Graft — reinstate forwarding for a previously pruned branch
+    (unicast to the upstream neighbor; paper §3.1)."""
+
+    def describe(self) -> str:
+        return f"PIM-Graft[{self.source}->{self.group}]"
+
+
+@dataclass(frozen=True)
+class PimGraftAck(_SgMessage):
+    """Graft-Ack — acknowledges a Graft hop-by-hop."""
+
+    def describe(self) -> str:
+        return f"PIM-GraftAck[{self.source}->{self.group}]"
+
+
+@dataclass(frozen=True)
+class PimStateRefresh(_SgMessage):
+    """State Refresh (RFC 3973 §4.5.1): originated by first-hop routers
+    and flooded down the broadcast tree, refreshing downstream prune
+    state so pruned branches stay pruned without periodic data floods.
+
+    ``originator`` is the first-hop router; ``metric`` its route metric
+    toward the source; ``ttl`` bounds the propagation depth.
+    """
+
+    originator: Optional[Address] = None
+    metric: int = 0
+    interval: float = 60.0
+    ttl: int = 16
+
+    @property
+    def size_bytes(self) -> int:
+        return 64
+
+    def describe(self) -> str:
+        return f"PIM-StateRefresh[{self.source}->{self.group}]"
+
+
+@dataclass(frozen=True)
+class PimAssert(_SgMessage):
+    """Assert — single-forwarder election on a multi-access link.
+
+    ``metric`` is the sender's unicast routing metric toward the source;
+    lower metric wins, ties break toward the numerically *higher*
+    sender address (PIMv2 §3.5).
+    """
+
+    metric: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return 48
+
+    def describe(self) -> str:
+        return f"PIM-Assert[{self.source}->{self.group} m={self.metric}]"

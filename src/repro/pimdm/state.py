@@ -1,0 +1,130 @@
+"""PIM-DM (S,G) forwarding state.
+
+Each router keeps one :class:`SgEntry` per (Source, Group) pair it has
+seen traffic (or control messages) for — the "(S, G) entry" of paper
+§3.1 — holding:
+
+* the **incoming (upstream) interface** — the RPF interface toward S,
+* the **upstream neighbor** — target of Prunes/Grafts (None when the
+  source's link is directly attached, i.e. this is a first-hop router),
+* per-downstream-interface state: prune-pending (the T_PruneDel
+  window), pruned (with hold timer), assert-loser (with assert timer),
+* the entry **data timeout** (210 s default) after which state for a
+  silent source is deleted — the reason a moved sender's old tree
+  lingers (paper §4.2.2-A),
+* upstream bookkeeping: whether we pruned upstream, graft-ack pending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..net.addressing import Address
+from ..net.interface import Interface
+from ..sim import Timer
+
+__all__ = ["DownstreamState", "SgEntry", "sg_key"]
+
+
+def sg_key(source: Address, group: Address) -> tuple:
+    return (Address(source).as_int(), Address(group).as_int())
+
+
+@dataclass
+class DownstreamState:
+    """Per-(S,G)-per-downstream-interface state."""
+
+    iface: Interface
+    #: Prune received, waiting T_PruneDel for a possible Join override.
+    prune_pending_timer: Optional[Timer] = None
+    #: Interface pruned; forwarding resumes when the hold timer fires.
+    pruned: bool = False
+    prune_hold_timer: Optional[Timer] = None
+    #: This router lost an assert election on the interface.
+    assert_loser: bool = False
+    assert_timer: Optional[Timer] = None
+    assert_winner: Optional[Address] = None
+    assert_winner_metric: Optional[int] = None
+
+    @property
+    def prune_pending(self) -> bool:
+        return (
+            self.prune_pending_timer is not None and self.prune_pending_timer.running
+        )
+
+    def clear_prune(self) -> None:
+        if self.prune_pending_timer is not None:
+            self.prune_pending_timer.stop()
+            self.prune_pending_timer = None
+        if self.prune_hold_timer is not None:
+            self.prune_hold_timer.stop()
+            self.prune_hold_timer = None
+        self.pruned = False
+
+    def clear_assert(self) -> None:
+        if self.assert_timer is not None:
+            self.assert_timer.stop()
+            self.assert_timer = None
+        self.assert_loser = False
+        self.assert_winner = None
+        self.assert_winner_metric = None
+
+
+@dataclass
+class SgEntry:
+    """One (Source, Group) multicast forwarding entry."""
+
+    source: Address
+    group: Address
+    upstream_iface: Optional[Interface]
+    #: FIB next hop toward the source (None at a first-hop router).
+    upstream_neighbor: Optional[Address]
+    #: Assert winner on the upstream link overrides the FIB next hop as
+    #: the target of Grafts/Prunes (paper §3.1: "downstream routers ...
+    #: store the elected forwarder for later PIM-DM protocol actions").
+    upstream_assert_winner: Optional[Address] = None
+    upstream_assert_winner_metric: Optional[int] = None
+    metric_to_source: int = 0
+    entry_timer: Optional[Timer] = None
+    downstream: Dict[int, DownstreamState] = field(default_factory=dict)
+    #: True after we sent a Prune upstream and before grafting back.
+    pruned_upstream: bool = False
+    last_prune_sent: float = float("-inf")
+    graft_retry_timer: Optional[Timer] = None
+    #: Statistics for the experiments.
+    packets_forwarded: int = 0
+    packets_discarded: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> tuple:
+        return sg_key(self.source, self.group)
+
+    def downstream_state(self, iface: Interface) -> DownstreamState:
+        state = self.downstream.get(iface.uid)
+        if state is None:
+            state = DownstreamState(iface=iface)
+            self.downstream[iface.uid] = state
+        return state
+
+    def upstream_target(self) -> Optional[Address]:
+        """Whom to address Prunes/Grafts to (assert winner beats FIB)."""
+        return (
+            self.upstream_assert_winner
+            if self.upstream_assert_winner is not None
+            else self.upstream_neighbor
+        )
+
+    def stop_all_timers(self) -> None:
+        if self.entry_timer is not None:
+            self.entry_timer.stop()
+        if self.graft_retry_timer is not None:
+            self.graft_retry_timer.stop()
+        for state in self.downstream.values():
+            state.clear_prune()
+            state.clear_assert()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        up = self.upstream_iface.name if self.upstream_iface else "?"
+        return f"<SgEntry ({self.source},{self.group}) up={up}>"

@@ -1,0 +1,17 @@
+"""Discrete-event simulation kernel: scheduler, timers, RNG, tracing."""
+
+from .kernel import Event, SimulationError, Simulator
+from .rng import RngRegistry
+from .timers import PeriodicTimer, Timer
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "Event",
+    "PeriodicTimer",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,234 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a deterministic event-driven scheduler.  Every protocol
+entity in the reproduction (links, MLD hosts and routers, PIM-DM
+routers, mobile nodes, home agents, traffic sources) schedules callbacks
+on a single :class:`Simulator` instance.  Determinism is guaranteed by
+
+* a monotonically increasing sequence number that breaks ties between
+  events scheduled for the same instant (FIFO within an instant), and
+* a single seeded random number stream (see :mod:`repro.sim.rng`).
+
+Time is a float in **seconds**, matching the units the paper uses for
+every protocol timer (T_Query = 125 s, T_MLI = 260 s, data timeout =
+210 s, T_PruneDel = 3 s, ...).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid kernel operations (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.schedule_at`.  They may be cancelled; cancellation
+    is O(1) (lazy deletion from the heap).
+    """
+
+    __slots__ = ("time", "fn", "args", "kwargs", "cancelled", "dispatched", "label")
+
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.dispatched = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Cancel the event.  Cancelling a dispatched event is a no-op."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still queued and will fire."""
+        return not self.cancelled and not self.dispatched
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "cancelled"
+            if self.cancelled
+            else ("dispatched" if self.dispatched else "pending")
+        )
+        name = self.label or getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._dispatched_count = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of callbacks executed so far (kernel statistic)."""
+        return self._dispatched_count
+
+    @property
+    def events_pending(self) -> int:
+        """Number of queued, not-yet-cancelled events."""
+        return sum(1 for e in self._heap if e.event.pending)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``fn(*args, **kwargs)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative.  A zero delay schedules the
+        callback at the current instant, after all callbacks already
+        queued for this instant (FIFO ordering).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args, label=label, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``fn`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, now is t={self._now!r}"
+            )
+        event = Event(time, fn, args, kwargs, label=label)
+        heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), event))
+        return event
+
+    def call_now(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``fn`` at the current instant (after queued same-time events)."""
+        return self.schedule(0.0, fn, *args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the single next pending event.
+
+        Returns False when the queue is exhausted.
+        """
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.dispatched = True
+            self._dispatched_count += 1
+            event.fn(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies strictly beyond this time, and
+            advance the clock to ``until``.  ``None`` runs to queue
+            exhaustion.
+        max_events:
+            Safety valve; raise :class:`SimulationError` if more than
+            this many events are dispatched in this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._heap:
+                entry = self._heap[0]
+                if entry.event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._heap)
+                event = entry.event
+                self._now = event.time
+                event.dispatched = True
+                self._dispatched_count += 1
+                event.fn(*event.args, **event.kwargs)
+                dispatched += 1
+                if max_events is not None and dispatched > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6f} pending={self.events_pending}>"

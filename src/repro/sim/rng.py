@@ -1,0 +1,62 @@
+"""Deterministic random number streams.
+
+Protocol behaviour in this reproduction uses randomness in exactly the
+places the specifications do:
+
+* MLD response-delay timers: uniform in [0, T_RespDel] (RFC 2710 §4),
+* mobility models: move epochs and destination links,
+* traffic models: on/off phase lengths.
+
+To keep experiments reproducible and independent of call order between
+subsystems, each consumer asks the :class:`RngRegistry` for a *named
+stream*; each stream is an independently seeded ``random.Random``
+derived from the master seed and the stream name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Registry of named, independently seeded random streams.
+
+    >>> r1 = RngRegistry(seed=42)
+    >>> r2 = RngRegistry(seed=42)
+    >>> r1.stream("mld").random() == r2.stream("mld").random()
+    True
+    >>> r1.stream("mld").random() == r1.stream("mobility").random()
+    False
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream for ``name``."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def uniform(self, name: str, lo: float, hi: float) -> float:
+        """Draw uniform [lo, hi] from the named stream."""
+        return self.stream(name).uniform(lo, hi)
+
+    def expovariate(self, name: str, rate: float) -> float:
+        """Draw an exponential inter-arrival with the given rate (1/s)."""
+        return self.stream(name).expovariate(rate)
+
+    def choice(self, name: str, seq):
+        """Pick an element of ``seq`` uniformly from the named stream."""
+        return self.stream(name).choice(seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RngRegistry seed={self.seed} streams={sorted(self._streams)}>"

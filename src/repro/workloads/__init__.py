@@ -1,0 +1,6 @@
+"""Traffic generators and receiver applications for the experiments."""
+
+from .apps import Delivery, ReceiverApp
+from .traffic import CbrSource, OnOffSource
+
+__all__ = ["CbrSource", "Delivery", "OnOffSource", "ReceiverApp"]

@@ -1,0 +1,118 @@
+"""Unit tests for analytic delay models, tables, and tree rendering."""
+
+import pytest
+
+from repro.analysis import (
+    Column,
+    expected_join_delay_unsolicited,
+    expected_join_delay_wait_for_query,
+    expected_leave_delay,
+    fmt_bytes,
+    fmt_float,
+    fmt_seconds,
+    leave_delay_bounds,
+    render_figure,
+    render_table,
+    render_tree,
+    tree_edges,
+)
+from repro.mipv6 import MobileIpv6Config
+from repro.mld import MldConfig
+
+
+class TestDelayModels:
+    def test_wait_for_query_defaults(self):
+        """Defaults: 125/2 + 10/2 = 67.5 s — 'far too high' (§4.3.1)."""
+        assert expected_join_delay_wait_for_query(MldConfig()) == 67.5
+
+    def test_wait_for_query_scales_linearly(self):
+        a = expected_join_delay_wait_for_query(MldConfig().with_query_interval(20.0))
+        b = expected_join_delay_wait_for_query(MldConfig().with_query_interval(40.0))
+        assert b - a == pytest.approx(10.0)
+
+    def test_unsolicited_is_handoff_pipeline(self):
+        cfg = MobileIpv6Config(
+            handoff_delay=0.1, movement_detection_delay=1.0, coa_config_delay=0.5
+        )
+        assert expected_join_delay_unsolicited(cfg) == pytest.approx(1.6)
+
+    def test_leave_delay_default(self):
+        # 260 - 62.5 - 5 = 192.5
+        assert expected_leave_delay(MldConfig()) == 192.5
+
+    def test_leave_bounds(self):
+        lo, hi = leave_delay_bounds(MldConfig())
+        assert hi == 260.0  # the paper's 'max. 260 seconds'
+        assert lo == 260.0 - 125.0 - 10.0
+        assert lo < expected_leave_delay(MldConfig()) < hi
+
+
+class TestFormatters:
+    def test_fmt_seconds_units(self):
+        assert fmt_seconds(0.000005) == "5us"
+        assert fmt_seconds(0.0123) == "12.3ms"
+        assert fmt_seconds(2.5) == "2.50s"
+        assert fmt_seconds(None) == "-"
+
+    def test_fmt_bytes_units(self):
+        assert fmt_bytes(512) == "512B"
+        assert fmt_bytes(250_000) == "250.0kB"
+        assert fmt_bytes(25_000_000) == "25.0MB"
+        assert fmt_bytes(None) == "-"
+
+    def test_fmt_float(self):
+        assert fmt_float(1)(3.14159) == "3.1"
+        assert fmt_float(3)(None) == "-"
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        text = render_table(rows, ["a", ("b", "col B")], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col B" in lines[1]
+        assert "22" in text
+
+    def test_missing_values_dashed(self):
+        text = render_table([{"a": None}], ["a"])
+        assert "-" in text
+
+    def test_custom_formatter(self):
+        text = render_table([{"d": 0.5}], [("d", "delay", fmt_seconds)])
+        assert "500.0ms" in text
+
+    def test_column_objects(self):
+        text = render_table([{"k": 7}], [Column("k", header="K")])
+        assert "K" in text
+
+    def test_empty_rows(self):
+        text = render_table([], ["a", "b"])
+        assert "a" in text
+
+
+class TestTreeRendering:
+    TREE = {"A": ["L2"], "B": [], "C": ["L3"], "D": ["L4"], "E": []}
+    ROUTER_LINKS = {
+        "A": ["L1", "L2"], "B": ["L2", "L3"], "C": ["L2", "L3"],
+        "D": ["L3", "L4", "L5"], "E": ["L3", "L6"],
+    }
+
+    def test_tree_edges_flat(self):
+        assert tree_edges(self.TREE) == [("A", "L2"), ("C", "L3"), ("D", "L4")]
+
+    def test_render_tree_reaches_all_on_tree_links(self):
+        text = render_tree(self.TREE, "L1", self.ROUTER_LINKS)
+        for edge in ("L1 --A--> L2", "L2 --C--> L3", "L3 --D--> L4"):
+            assert edge in text
+
+    def test_render_tree_excludes_off_tree_links(self):
+        text = render_tree(self.TREE, "L1", self.ROUTER_LINKS)
+        assert "L5" not in text and "L6" not in text
+
+    def test_render_figure_with_tunnels(self):
+        text = render_figure(
+            self.TREE, "L1", self.ROUTER_LINKS,
+            tunnels=[("D", "R3@L1", "HA tunnel")],
+        )
+        assert "====>" in text and "HA tunnel" in text

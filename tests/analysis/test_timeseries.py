@@ -1,0 +1,98 @@
+"""Unit tests for the bandwidth recorder and sparkline rendering."""
+
+import pytest
+
+from repro.analysis.timeseries import BandwidthRecorder, render_series, sparkline
+from repro.core import LOCAL_MEMBERSHIP, PaperScenario, ScenarioConfig
+from repro.net import ApplicationData
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_peak_is_full_block(self):
+        line = sparkline([0.0, 5.0, 10.0])
+        assert line[-1] == "█"
+        assert line[0] == " "
+
+    def test_monotone_values_monotone_blocks(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert list(line) == sorted(line, key=" ▁▂▃▄▅▆▇█".index)
+
+
+class TestBandwidthRecorder:
+    def _run(self, period=1.0):
+        sc = PaperScenario(ScenarioConfig(seed=61, approach=LOCAL_MEMBERSHIP))
+        rec = BandwidthRecorder(sc.net, period=period)
+        rec.start()
+        sc.converge()
+        return sc, rec
+
+    def test_rate_matches_source_bitrate(self):
+        sc, rec = self._run()
+        series = rec.rate_series(link="L1", category="mcast_data")
+        # after traffic start (t=20): 20 pkt/s * 1040 B = 20800 B/s
+        steady = [r for t, r in series if t > 22.0]
+        assert steady
+        assert steady[-1] == pytest.approx(20800, rel=0.05)
+
+    def test_quiet_before_traffic_start(self):
+        sc, rec = self._run()
+        early = [r for t, r in rec.rate_series(link="L1", category="mcast_data")
+                 if t <= 19.0]
+        assert all(r == 0.0 for r in early)
+
+    def test_aggregate_over_links(self):
+        sc, rec = self._run()
+        total = rec.rate_series(category="mcast_data")
+        single = rec.rate_series(link="L1", category="mcast_data")
+        t_last = total[-1][0]
+        total_rate = dict(total)[t_last]
+        single_rate = dict(single)[t_last]
+        assert total_rate > single_rate  # several links carry the tree
+
+    def test_peak_and_busy_bins(self):
+        sc, rec = self._run()
+        assert rec.peak_rate(link="L1", category="mcast_data") == pytest.approx(
+            20800, rel=0.05
+        )
+        busy = rec.busy_bins(link="L1", category="mcast_data", threshold=1000.0)
+        # traffic starts exactly at t=20, inside the bin that ends at 20
+        assert busy and all(t >= 20.0 for t in busy)
+
+    def test_captures_graft_burst_on_new_link(self):
+        """Link 6 goes from silent to full rate when R3 moves there."""
+        sc, rec = self._run()
+        sc.move("R3", "L6", at=40.0)
+        sc.run_until(60.0)
+        series = rec.rate_series(link="L6", category="mcast_data")
+        before = [r for t, r in series if t <= 40.0]
+        after = [r for t, r in series if t >= 45.0]
+        assert all(r == 0.0 for r in before)
+        assert after and after[-1] > 15_000
+
+    def test_stop(self):
+        sc, rec = self._run()
+        n = len(rec.times)
+        rec.stop()
+        sc.run_for(10.0)
+        assert len(rec.times) == n
+
+    def test_invalid_period(self):
+        sc = PaperScenario(ScenarioConfig(seed=62))
+        with pytest.raises(ValueError):
+            BandwidthRecorder(sc.net, period=0.0)
+
+    def test_render_series(self):
+        sc, rec = self._run()
+        text = render_series(
+            rec.rate_series(link="L1", category="mcast_data"), label="L1 data"
+        )
+        assert "L1 data" in text and "peak" in text
+
+    def test_render_empty(self):
+        assert "(no samples)" in render_series([], label="x")

@@ -1,0 +1,29 @@
+"""Shared pytest fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Network
+from repro.sim import Simulator
+from topo_helpers import LineTopology, build_line
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def net() -> Network:
+    return Network(seed=7)
+
+
+@pytest.fixture
+def line2() -> LineTopology:
+    return build_line(2)
+
+
+@pytest.fixture
+def line3() -> LineTopology:
+    return build_line(3)

@@ -1,0 +1,120 @@
+"""Tests for runtime strategy switching and the adaptive controller."""
+
+import pytest
+
+from repro.core import LOCAL_MEMBERSHIP, BIDIRECTIONAL_TUNNEL, PaperScenario, ScenarioConfig
+from repro.core.adaptive import AdaptiveStrategyController
+from repro.mipv6 import DeliveryMode
+
+
+class TestRuntimeSwitching:
+    def test_switch_to_tunnel_while_away(self):
+        sc = PaperScenario(ScenarioConfig(seed=51, approach=LOCAL_MEMBERSHIP))
+        sc.converge()
+        sc.move("R3", "L6", at=40.0)
+        sc.run_until(60.0)
+        r3 = sc.paper.host("R3")
+        d = sc.paper.router("D")
+        assert d.groups_on_behalf() == []
+        r3.set_delivery_modes(recv_mode=DeliveryMode.HA_TUNNEL)
+        sc.run_until(80.0)
+        # HA took over the subscription; reception continues via tunnel
+        assert d.groups_on_behalf() == [sc.group]
+        assert sc.net.tracer.count(
+            "mipv6", node="R3", event="tunnel-mcast-received", since=62.0
+        ) > 0
+
+    def test_switch_to_local_while_away(self):
+        sc = PaperScenario(ScenarioConfig(seed=52, approach=BIDIRECTIONAL_TUNNEL))
+        sc.converge()
+        sc.move("R3", "L6", at=40.0)
+        sc.run_until(60.0)
+        r3 = sc.paper.host("R3")
+        d = sc.paper.router("D")
+        assert d.groups_on_behalf() == [sc.group]
+        r3.set_delivery_modes(
+            recv_mode=DeliveryMode.LOCAL, send_mode=DeliveryMode.LOCAL
+        )
+        sc.run_until(85.0)
+        # the HA subscription was cleared; E serves Link 6 natively
+        assert d.groups_on_behalf() == []
+        assert "L6" in sc.current_tree()["E"]
+        tunneled_late = sc.net.tracer.count(
+            "mipv6", node="D", event="tunnel-mcast-to-mn", since=70.0
+        )
+        assert tunneled_late == 0
+        assert sc.apps["R3"].first_delivery_after(70.0) is not None
+
+    def test_switch_at_home_is_deferred(self):
+        sc = PaperScenario(ScenarioConfig(seed=53, approach=LOCAL_MEMBERSHIP))
+        sc.converge()
+        r3 = sc.paper.host("R3")
+        r3.set_delivery_modes(recv_mode=DeliveryMode.HA_TUNNEL)
+        sc.run_for(5.0)
+        # nothing happens at home; the mode applies on the next move
+        assert sc.paper.router("D").groups_on_behalf() == []
+        sc.move("R3", "L6")
+        sc.run_for(20.0)
+        assert sc.paper.router("D").groups_on_behalf() == [sc.group]
+
+
+class TestAdaptiveController:
+    def _controller(self, sc, **kw):
+        r3 = sc.paper.host("R3")
+        defaults = dict(window=60.0, high_rate=3.0, low_rate=1.0,
+                        check_interval=5.0)
+        defaults.update(kw)
+        ctl = AdaptiveStrategyController(r3, **defaults)
+        ctl.start()
+        return r3, ctl
+
+    def test_sedentary_node_stays_local(self):
+        sc = PaperScenario(ScenarioConfig(seed=54, approach=LOCAL_MEMBERSHIP))
+        sc.converge()
+        r3, ctl = self._controller(sc)
+        sc.move("R3", "L6", at=40.0)  # a single move
+        sc.run_until(200.0)
+        assert ctl.switches == 0
+        assert r3.recv_mode is DeliveryMode.LOCAL
+
+    def test_high_mobility_switches_to_tunnel(self):
+        sc = PaperScenario(ScenarioConfig(seed=55, approach=LOCAL_MEMBERSHIP))
+        sc.converge()
+        r3, ctl = self._controller(sc)
+        # ping-pong between L6 and L5 every 10 s: 6 moves per window
+        for k, link in enumerate(["L6", "L5", "L6", "L5", "L6"]):
+            sc.move("R3", link, at=40.0 + 10.0 * k)
+        sc.run_until(120.0)
+        assert ctl.switches >= 1
+        assert r3.recv_mode is DeliveryMode.HA_TUNNEL
+        assert sc.net.tracer.count("mobility", event="adaptive-switch") >= 1
+
+    def test_settling_down_switches_back(self):
+        sc = PaperScenario(ScenarioConfig(seed=56, approach=LOCAL_MEMBERSHIP))
+        sc.converge()
+        r3, ctl = self._controller(sc, window=40.0)
+        for k, link in enumerate(["L6", "L5", "L6", "L5"]):
+            sc.move("R3", link, at=40.0 + 8.0 * k)
+        sc.run_until(70.0)  # mid-churn: high mobility detected
+        assert r3.recv_mode is DeliveryMode.HA_TUNNEL
+        sc.run_until(300.0)  # no moves for a long time
+        assert r3.recv_mode is DeliveryMode.LOCAL
+        assert ctl.switches >= 2
+
+    def test_reception_continuous_across_switches(self):
+        sc = PaperScenario(ScenarioConfig(seed=57, approach=LOCAL_MEMBERSHIP))
+        sc.converge()
+        r3, ctl = self._controller(sc, window=40.0)
+        for k, link in enumerate(["L6", "L5", "L6", "L5"]):
+            sc.move("R3", link, at=40.0 + 8.0 * k)
+        sc.run_until(250.0)
+        # after all the churn the receiver still gets the stream
+        assert sc.apps["R3"].first_delivery_after(sc.now - 10.0) is not None
+
+    def test_hysteresis_validated(self):
+        sc = PaperScenario(ScenarioConfig(seed=58))
+        sc.converge()
+        with pytest.raises(ValueError):
+            AdaptiveStrategyController(
+                sc.paper.host("R3"), high_rate=1.0, low_rate=2.0
+            )

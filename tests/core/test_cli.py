@@ -1,0 +1,55 @@
+"""Unit tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in COMMANDS:
+            args = parser.parse_args([command] if command != "timers" else ["timers"])
+            assert args.command == command
+
+    def test_default_seed(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.seed == 0
+
+    def test_custom_seed(self):
+        args = build_parser().parse_args(["fig2", "--seed", "7"])
+        assert args.seed == 7
+
+    def test_timer_arguments(self):
+        args = build_parser().parse_args(
+            ["timers", "--intervals", "10", "20", "--repeats", "2"]
+        )
+        assert args.intervals == [10.0, 20.0]
+        assert args.repeats == 2
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "fig1" in out and "compare" in out
+
+    def test_no_command_lists(self, capsys):
+        main([])
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "Bi-directional tunnel" in out
+
+    def test_fig1_runs(self, capsys):
+        main(["fig1", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "L1 --A--> L2" in out
+        assert "asserts:" in out
+
+    def test_timers_small(self, capsys):
+        main(["timers", "--intervals", "10", "--repeats", "1"])
+        out = capsys.readouterr().out
+        assert "T_Query" in out and "10" in out

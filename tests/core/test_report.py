@@ -1,0 +1,47 @@
+"""Tests for the full-report generator (reduced sizes)."""
+
+import pytest
+
+from repro.core.report import generate_report
+from repro.mld import MldConfig
+
+FAST_MLD = MldConfig(
+    query_interval=15.0, query_response_interval=5.0, startup_query_interval=4.0
+)
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(
+        seed=3,
+        mld=FAST_MLD,
+        timer_intervals=(10.0, 40.0),
+        timer_seeds=(0,),
+        include_scaling=False,
+    )
+
+
+class TestGenerateReport:
+    def test_has_all_sections(self, report_text):
+        for heading in (
+            "Figure 1", "Figure 2", "Figures 3 & 4", "Table 1",
+            "§4.3 comparison", "§4.4 MLD timer",
+        ):
+            assert heading in report_text
+
+    def test_claims_all_pass(self, report_text):
+        assert "All paper claims hold: True" in report_text
+        assert "[FAIL]" not in report_text
+
+    def test_tree_rendered(self, report_text):
+        assert "L1 --A--> L2" in report_text
+
+    def test_markdown_code_fences_balanced(self, report_text):
+        assert report_text.count("```") % 2 == 0
+
+    def test_deterministic(self):
+        kwargs = dict(
+            seed=3, mld=FAST_MLD, timer_intervals=(10.0,),
+            timer_seeds=(0,), include_scaling=False,
+        )
+        assert generate_report(**kwargs) == generate_report(**kwargs)

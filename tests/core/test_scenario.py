@@ -1,0 +1,62 @@
+"""Unit tests for the scenario harness."""
+
+import pytest
+
+from repro.core import LOCAL_MEMBERSHIP, PaperScenario, ScenarioConfig
+
+
+class TestPaperScenario:
+    def test_converge_runs_to_configured_time(self):
+        sc = PaperScenario(ScenarioConfig(seed=1, converge_until=25.0))
+        sc.converge()
+        assert sc.now == 25.0
+
+    def test_converge_idempotent(self):
+        sc = PaperScenario(ScenarioConfig(seed=1))
+        sc.converge()
+        sent = sc.source.sent
+        sc.converge()
+        assert sc.source.sent == sent
+
+    def test_source_rate(self):
+        cfg = ScenarioConfig(seed=1, packet_interval=0.1, traffic_start=20.0,
+                             converge_until=30.0)
+        sc = PaperScenario(cfg)
+        sc.converge()
+        # 10 s of traffic at 10 pkt/s (inclusive first tick)
+        assert sc.source.sent in (100, 101)
+
+    def test_move_scheduled_in_future(self):
+        sc = PaperScenario(ScenarioConfig(seed=1))
+        sc.converge()
+        when = sc.move("R3", "L6", at=50.0)
+        assert when == 50.0
+        assert sc.paper.host("R3").current_link.name == "L4"
+        sc.run_until(55.0)
+        assert sc.paper.host("R3").current_link.name == "L6"
+
+    def test_move_immediate(self):
+        sc = PaperScenario(ScenarioConfig(seed=1))
+        sc.converge()
+        sc.move("R3", "L6")
+        sc.run_for(5.0)
+        assert sc.paper.host("R3").current_link.name == "L6"
+
+    def test_run_for(self):
+        sc = PaperScenario(ScenarioConfig(seed=1))
+        sc.converge()
+        sc.run_for(7.5)
+        assert sc.now == pytest.approx(37.5)
+
+    def test_tree_probe_shapes(self):
+        sc = PaperScenario(ScenarioConfig(seed=1))
+        sc.converge()
+        tree = sc.current_tree()
+        assert set(tree) == {"A", "B", "C", "D", "E"}
+        assert all(isinstance(v, list) for v in tree.values())
+
+    def test_receivers_instrumented(self):
+        sc = PaperScenario(ScenarioConfig(seed=1))
+        assert set(sc.apps) == {"R1", "R2", "R3"}
+        sc.converge()
+        assert sc.apps["R1"].unique_count > 0

@@ -1,0 +1,73 @@
+"""Unit tests for the four approaches (Table 1)."""
+
+import pytest
+
+from repro.core import (
+    ALL_APPROACHES,
+    BIDIRECTIONAL_TUNNEL,
+    LOCAL_MEMBERSHIP,
+    TUNNEL_HA_TO_MH,
+    TUNNEL_MH_TO_HA,
+    approach_for,
+    render_table1,
+)
+from repro.mipv6 import DeliveryMode
+
+
+class TestTable1:
+    def test_four_distinct_approaches(self):
+        assert len(ALL_APPROACHES) == 4
+        assert len({a.key for a in ALL_APPROACHES}) == 4
+        assert len({(a.send_mode, a.recv_mode) for a in ALL_APPROACHES}) == 4
+
+    def test_numbering_matches_paper(self):
+        assert LOCAL_MEMBERSHIP.number == 1
+        assert BIDIRECTIONAL_TUNNEL.number == 2
+        assert TUNNEL_MH_TO_HA.number == 3
+        assert TUNNEL_HA_TO_MH.number == 4
+
+    def test_local_membership_modes(self):
+        assert LOCAL_MEMBERSHIP.recv_mode is DeliveryMode.LOCAL
+        assert LOCAL_MEMBERSHIP.send_mode is DeliveryMode.LOCAL
+
+    def test_bidirectional_modes(self):
+        assert BIDIRECTIONAL_TUNNEL.recv_mode is DeliveryMode.HA_TUNNEL
+        assert BIDIRECTIONAL_TUNNEL.send_mode is DeliveryMode.HA_TUNNEL
+
+    def test_unidirectional_mh_to_ha(self):
+        """Tunnel used for *sending*, local reception (approach 3)."""
+        assert TUNNEL_MH_TO_HA.send_mode is DeliveryMode.HA_TUNNEL
+        assert TUNNEL_MH_TO_HA.recv_mode is DeliveryMode.LOCAL
+
+    def test_unidirectional_ha_to_mh(self):
+        """Tunnel used for *receiving*, local sending (approach 4)."""
+        assert TUNNEL_HA_TO_MH.send_mode is DeliveryMode.LOCAL
+        assert TUNNEL_HA_TO_MH.recv_mode is DeliveryMode.HA_TUNNEL
+
+    def test_lookup_covers_matrix(self):
+        for send in DeliveryMode:
+            for recv in DeliveryMode:
+                approach = approach_for(send, recv)
+                assert approach.send_mode is send
+                assert approach.recv_mode is recv
+
+    def test_lookup_corners(self):
+        assert approach_for(DeliveryMode.LOCAL, DeliveryMode.LOCAL) is LOCAL_MEMBERSHIP
+        assert (
+            approach_for(DeliveryMode.HA_TUNNEL, DeliveryMode.HA_TUNNEL)
+            is BIDIRECTIONAL_TUNNEL
+        )
+
+    def test_render_contains_all_titles(self):
+        table = render_table1()
+        for approach in ALL_APPROACHES:
+            assert approach.title in table
+
+    def test_figures_annotated(self):
+        assert "Figure 2" in LOCAL_MEMBERSHIP.figures
+        assert "Figure 3" in BIDIRECTIONAL_TUNNEL.figures
+        assert "Figure 4" in BIDIRECTIONAL_TUNNEL.figures
+
+    def test_describe(self):
+        text = BIDIRECTIONAL_TUNNEL.describe()
+        assert "2." in text and "ha-tunnel" in text

@@ -1,0 +1,58 @@
+"""Integration tests for the §4.4 MLD timer sweep (reduced sizes)."""
+
+import pytest
+
+from repro.core import run_timer_sweep
+from repro.core.timer_optimization import render_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_timer_sweep(query_intervals=(10.0, 40.0), seeds=(0, 1),
+                           packet_interval=0.2)
+
+
+class TestTimerSweep:
+    def test_point_per_interval(self, sweep):
+        assert [p.query_interval for p in sweep] == [10.0, 40.0]
+
+    def test_t_mli_derived(self, sweep):
+        assert sweep[0].t_mli == 2 * 10 + 10
+        assert sweep[1].t_mli == 2 * 40 + 10
+
+    def test_join_delay_decreases_with_query_interval(self, sweep):
+        """The paper's central §4.4 claim."""
+        assert sweep[0].mean_join_delay < sweep[1].mean_join_delay
+
+    def test_leave_delay_decreases_with_query_interval(self, sweep):
+        assert sweep[0].mean_leave_delay < sweep[1].mean_leave_delay
+
+    def test_wasted_bytes_shrink(self, sweep):
+        assert sweep[0].mean_wasted_bytes < sweep[1].mean_wasted_bytes
+
+    def test_signaling_cost_grows_but_stays_small(self, sweep):
+        """'The bandwidth cost for this tuning step is small, compared
+        with the bandwidth saving due to a lower leave delay.'"""
+        fast, slow = sweep
+        assert fast.mean_mld_bytes_per_s > slow.mean_mld_bytes_per_s
+        extra_cost = fast.mean_mld_bytes_per_s - slow.mean_mld_bytes_per_s
+        saving = slow.mean_wasted_bytes - fast.mean_wasted_bytes
+        # saving per move dwarfs one minute of extra query traffic
+        assert saving > 60 * extra_cost
+
+    def test_leave_delay_within_analytic_bounds(self, sweep):
+        for point in sweep:
+            for measured in point.leave_delays:
+                assert measured is not None
+                assert measured <= point.t_mli + 1.0
+
+    def test_join_delay_within_cycle_bound(self, sweep):
+        for point in sweep:
+            for measured in point.join_delays:
+                assert measured is not None
+                # bounded by one query cycle + max response delay + slack
+                assert measured <= point.query_interval + 10.0 + 5.0
+
+    def test_render(self, sweep):
+        text = render_sweep(sweep)
+        assert "T_Query" in text and "10" in text and "40" in text

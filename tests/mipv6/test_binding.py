@@ -1,0 +1,97 @@
+"""Unit tests for the binding cache."""
+
+import pytest
+
+from repro.mipv6 import BindingCache
+from repro.net import Address
+from repro.sim import Simulator
+
+HOME = Address("2001:db8:4::67")
+COA1 = Address("2001:db8:6::67")
+COA2 = Address("2001:db8:1::67")
+G1, G2 = Address("ff1e::1"), Address("ff1e::2")
+
+
+class TestBindingCache:
+    def test_update_creates_entry(self, sim):
+        cache = BindingCache(sim)
+        entry = cache.update(HOME, COA1, lifetime=100.0)
+        assert cache.get(HOME) is entry
+        assert entry.care_of_address == COA1
+        assert HOME in cache and len(cache) == 1
+
+    def test_update_refreshes_coa(self, sim):
+        cache = BindingCache(sim)
+        cache.update(HOME, COA1, lifetime=100.0, sequence=1)
+        cache.update(HOME, COA2, lifetime=100.0, sequence=2)
+        assert cache.get(HOME).care_of_address == COA2
+
+    def test_stale_sequence_ignored(self, sim):
+        cache = BindingCache(sim)
+        cache.update(HOME, COA1, lifetime=100.0, sequence=5)
+        cache.update(HOME, COA2, lifetime=100.0, sequence=3)
+        assert cache.get(HOME).care_of_address == COA1
+
+    def test_expiry_removes_and_notifies(self, sim):
+        expired = []
+        cache = BindingCache(sim, on_expired=expired.append)
+        cache.update(HOME, COA1, lifetime=50.0)
+        sim.run(until=49.0)
+        assert HOME in cache
+        sim.run(until=51.0)
+        assert HOME not in cache
+        assert len(expired) == 1 and expired[0].home_address == HOME
+
+    def test_refresh_extends_lifetime(self, sim):
+        cache = BindingCache(sim)
+        cache.update(HOME, COA1, lifetime=50.0, sequence=1)
+        sim.run(until=40.0)
+        cache.update(HOME, COA1, lifetime=50.0, sequence=2)
+        sim.run(until=60.0)
+        assert HOME in cache
+        sim.run(until=95.0)
+        assert HOME not in cache
+
+    def test_remove_deregisters(self, sim):
+        expired = []
+        cache = BindingCache(sim, on_expired=expired.append)
+        cache.update(HOME, COA1, lifetime=50.0)
+        removed = cache.remove(HOME)
+        assert removed is not None
+        sim.run()
+        assert expired == []  # explicit removal is not an expiry
+
+    def test_remove_absent_returns_none(self, sim):
+        assert BindingCache(sim).remove(HOME) is None
+
+    def test_groups_tracked(self, sim):
+        cache = BindingCache(sim)
+        cache.update(HOME, COA1, lifetime=100.0, groups=[G1, G2])
+        assert cache.get(HOME).groups == {G1, G2}
+
+    def test_groups_none_keeps_existing(self, sim):
+        cache = BindingCache(sim)
+        cache.update(HOME, COA1, lifetime=100.0, sequence=1, groups=[G1])
+        cache.update(HOME, COA2, lifetime=100.0, sequence=2, groups=None)
+        assert cache.get(HOME).groups == {G1}
+
+    def test_subscribers_of(self, sim):
+        cache = BindingCache(sim)
+        other = Address("2001:db8:4::68")
+        cache.update(HOME, COA1, lifetime=100.0, groups=[G1])
+        cache.update(other, COA2, lifetime=100.0, groups=[G1, G2])
+        assert {e.home_address for e in cache.subscribers_of(G1)} == {HOME, other}
+        assert {e.home_address for e in cache.subscribers_of(G2)} == {other}
+
+    def test_all_groups_union(self, sim):
+        cache = BindingCache(sim)
+        other = Address("2001:db8:4::68")
+        cache.update(HOME, COA1, lifetime=100.0, groups=[G1])
+        cache.update(other, COA2, lifetime=100.0, groups=[G2])
+        assert cache.all_groups() == {G1, G2}
+
+    def test_registered_at_stamp(self, sim):
+        cache = BindingCache(sim)
+        sim.run(until=12.0)
+        entry = cache.update(HOME, COA1, lifetime=100.0)
+        assert entry.registered_at == 12.0

@@ -1,0 +1,96 @@
+"""Tests for Binding Request probing (draft §5.3).
+
+The home agent probes a mobile whose refreshes stopped arriving at 90%
+of the binding lifetime; a reachable mobile answers with a fresh
+Binding Update, keeping the binding (and any on-behalf multicast
+memberships) alive.
+"""
+
+import pytest
+
+from repro.mipv6 import DeliveryMode, MobileIpv6Config, MobileNode
+from repro.net import Address
+
+from topo_helpers import build_line
+
+GROUP = Address("ff1e::1")
+
+
+def setup(refresh_interval=200.0, lifetime=30.0, recv=DeliveryMode.LOCAL):
+    """A deliberately lazy mobile: its own refresh interval exceeds the
+    binding lifetime, so only the HA's probe can keep the binding."""
+    topo = build_line(2, use_home_agents=True)
+    ha = topo.routers[0]
+    mn = MobileNode(
+        topo.net.sim, "MN", tracer=topo.net.tracer, rng=topo.net.rng,
+        home_link=topo.links[0],
+        home_agent_address=ha.address_on(topo.links[0]),
+        host_id=0x64,
+        config=MobileIpv6Config(
+            binding_lifetime=lifetime,
+            binding_refresh_interval=min(refresh_interval, lifetime - 1.0),
+        ),
+        recv_mode=recv,
+    )
+    topo.net.register_node(mn)
+    return topo, ha, mn
+
+
+class TestBindingRequest:
+    def test_probe_sent_near_expiry(self):
+        topo, ha, mn = setup()
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        # break the MN's own refresh timer to simulate a lazy client
+        topo.net.run(until=5.0)
+        mn._refresh_timer.stop()
+        topo.net.run(until=40.0)
+        assert topo.net.tracer.count(
+            "mipv6", node="R0", event="binding-request-sent"
+        ) >= 1
+
+    def test_probe_answered_keeps_binding_alive(self):
+        topo, ha, mn = setup()
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=5.0)
+        mn._refresh_timer.stop()  # MN would otherwise let it lapse
+        topo.net.run(until=100.0)
+        # the probe re-elicited a BU; the BA restarted the MN's refresh
+        # cycle, so the binding stays alive from then on
+        assert ha.binding_cache.get(mn.home_address) is not None
+        assert topo.net.tracer.count(
+            "mipv6", node="MN", event="binding-request-received"
+        ) >= 1
+
+    def test_unanswerable_probe_lets_binding_expire(self):
+        topo, ha, mn = setup()
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=5.0)
+        mn._refresh_timer.stop()
+        mn.iface.detach()  # gone for good
+        topo.net.run(until=60.0)
+        assert ha.binding_cache.get(mn.home_address) is None
+
+    def test_probe_not_needed_with_healthy_refreshes(self):
+        """With a normal refresh interval the probe event is always
+        rescheduled before it fires."""
+        topo, ha, mn = setup(lifetime=40.0, refresh_interval=10.0)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=120.0)
+        assert topo.net.tracer.count(
+            "mipv6", node="R0", event="binding-request-sent"
+        ) == 0
+        assert ha.binding_cache.get(mn.home_address) is not None
+
+    def test_probe_keeps_group_memberships(self):
+        topo, ha, mn = setup(recv=DeliveryMode.HA_TUNNEL)
+        mn.join_group(GROUP)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=5.0)
+        mn._refresh_timer.stop()
+        topo.net.run(until=100.0)
+        assert ha.groups_on_behalf() == [GROUP]

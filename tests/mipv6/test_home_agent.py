@@ -1,0 +1,169 @@
+"""Unit tests for home-agent internals not covered by the mobility flows."""
+
+import pytest
+
+from repro.mipv6 import (
+    BindingUpdateOption,
+    DeliveryMode,
+    HomeAgent,
+    MobileNode,
+    MulticastGroupListSubOption,
+)
+from repro.net import Address, ApplicationData, ControlPayload, Host, Ipv6Packet
+
+from topo_helpers import build_line
+
+GROUP = Address("ff1e::1")
+GROUP2 = Address("ff1e::2")
+
+
+def setup():
+    topo = build_line(2, use_home_agents=True)
+    ha = topo.routers[0]
+    return topo, ha
+
+
+def inject_bu(ha, home, coa, lifetime=100.0, seq=1, groups=None, home_reg=True):
+    subs = ()
+    if groups is not None:
+        subs = (MulticastGroupListSubOption(groups),)
+    bu = BindingUpdateOption(
+        home, coa, lifetime, sequence=seq, home_registration=home_reg,
+        sub_options=subs,
+    )
+    pkt = Ipv6Packet(coa, ha.primary_address(), ControlPayload(), dest_options=(bu,))
+    ha.receive(pkt, ha.interfaces[0])
+
+
+class TestHomeIfaceLookup:
+    def test_serves_attached_prefixes(self):
+        topo, ha = setup()
+        assert ha.serves_home_address(topo.links[0].prefix.address_for_host(9))
+        assert ha.serves_home_address(topo.links[1].prefix.address_for_host(9))
+        assert not ha.serves_home_address(topo.links[2].prefix.address_for_host(9))
+
+    def test_home_iface_for(self):
+        topo, ha = setup()
+        iface = ha.home_iface_for(topo.links[0].prefix.address_for_host(9))
+        assert iface is not None and iface.link is topo.links[0]
+
+
+class TestBindingUpdateEdgeCases:
+    def test_non_home_registration_ignored(self):
+        topo, ha = setup()
+        home = topo.links[0].prefix.address_for_host(0x70)
+        coa = topo.links[2].prefix.address_for_host(0x70)
+        inject_bu(ha, home, coa, home_reg=False)
+        assert ha.binding_cache.get(home) is None
+
+    def test_lifetime_capped_at_config(self):
+        topo, ha = setup()
+        home = topo.links[0].prefix.address_for_host(0x70)
+        coa = topo.links[2].prefix.address_for_host(0x70)
+        inject_bu(ha, home, coa, lifetime=10_000.0)
+        entry = ha.binding_cache.get(home)
+        assert entry.lifetime <= ha.mipv6_config.binding_lifetime
+
+    def test_group_list_absent_keeps_groups(self):
+        topo, ha = setup()
+        home = topo.links[0].prefix.address_for_host(0x70)
+        coa = topo.links[2].prefix.address_for_host(0x70)
+        inject_bu(ha, home, coa, seq=1, groups=[GROUP])
+        inject_bu(ha, home, coa, seq=2, groups=None)  # refresh, no sub-option
+        assert ha.binding_cache.get(home).groups == {GROUP}
+        assert ha.groups_on_behalf() == [GROUP]
+
+    def test_empty_group_list_clears_groups(self):
+        topo, ha = setup()
+        home = topo.links[0].prefix.address_for_host(0x70)
+        coa = topo.links[2].prefix.address_for_host(0x70)
+        inject_bu(ha, home, coa, seq=1, groups=[GROUP])
+        inject_bu(ha, home, coa, seq=2, groups=[])
+        assert ha.groups_on_behalf() == []
+
+    def test_group_refcount_across_two_mobiles(self):
+        topo, ha = setup()
+        h1 = topo.links[0].prefix.address_for_host(0x70)
+        h2 = topo.links[0].prefix.address_for_host(0x71)
+        coa1 = topo.links[2].prefix.address_for_host(0x70)
+        coa2 = topo.links[2].prefix.address_for_host(0x71)
+        inject_bu(ha, h1, coa1, seq=1, groups=[GROUP, GROUP2])
+        inject_bu(ha, h2, coa2, seq=1, groups=[GROUP])
+        assert ha.groups_on_behalf() == [GROUP, GROUP2]
+        # first mobile drops both groups; GROUP still held for the second
+        inject_bu(ha, h1, coa1, seq=2, groups=[])
+        assert ha.groups_on_behalf() == [GROUP]
+        assert GROUP in ha.pim.node_groups
+        assert GROUP2 not in ha.pim.node_groups
+
+    def test_deregistration_sends_ack_to_home_address(self):
+        topo, ha = setup()
+        home = topo.links[0].prefix.address_for_host(0x70)
+        coa = topo.links[2].prefix.address_for_host(0x70)
+        inject_bu(ha, home, coa, seq=1)
+        inject_bu(ha, home, home, lifetime=0.0, seq=2)
+        assert ha.binding_cache.get(home) is None
+        ev = topo.net.tracer.last("mipv6", node="R0", event="ba-sent")
+        assert ev.detail["to"] == str(home)
+
+
+class TestReverseTunnel:
+    def test_unserved_source_rejected(self):
+        """A tunneled multicast datagram whose inner source is not on any
+        of this HA's links must be rejected, not forwarded."""
+        topo, ha = setup()
+        foreign_src = topo.links[2].prefix.address_for_host(0x99)
+        inner = Ipv6Packet(foreign_src, GROUP, ApplicationData(seqno=0))
+        outer = inner.encapsulate(foreign_src, ha.primary_address())
+        ha.receive(outer, ha.interfaces[0])
+        assert topo.net.tracer.count("mipv6", event="reverse-tunnel-rejected") == 1
+        assert ha.reverse_tunneled == 0
+
+    def test_tunneled_unicast_falls_through(self):
+        """IPv6-in-IPv6 unicast (not multicast) uses default handling."""
+        topo, ha = setup()
+        got = []
+        ha.register_message_handler(
+            ApplicationData, lambda p, m, i: got.append(m.seqno)
+        )
+        inner = Ipv6Packet(
+            topo.links[2].prefix.address_for_host(0x99),
+            ha.primary_address(),
+            ApplicationData(seqno=5),
+        )
+        outer = inner.encapsulate(
+            topo.links[2].prefix.address_for_host(0x99), ha.primary_address()
+        )
+        ha.receive(outer, ha.interfaces[0])
+        assert got == [5]
+
+
+class TestIntercept:
+    def test_intercepts_only_cached_addresses(self):
+        topo, ha = setup()
+        home = topo.links[0].prefix.address_for_host(0x70)
+        assert not ha.intercepts(home)
+        inject_bu(ha, home, topo.links[2].prefix.address_for_host(0x70))
+        assert ha.intercepts(home)
+
+    def test_proxy_not_removed_if_mn_reclaimed_address(self):
+        """When the MN returns home and re-registers its own address in
+        the neighbor cache, a later binding teardown must not unregister
+        the MN's entry."""
+        topo = build_line(2, use_home_agents=True)
+        ha = topo.routers[0]
+        mn = MobileNode(
+            topo.net.sim, "MN", tracer=topo.net.tracer, rng=topo.net.rng,
+            home_link=topo.links[0],
+            home_agent_address=ha.address_on(topo.links[0]),
+            host_id=0x64,
+        )
+        topo.net.register_node(mn)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        mn.move_to(topo.links[0])
+        topo.net.run(until=20.0)
+        # home link resolves the address to the MN (not to the HA, and
+        # not dropped by the binding teardown)
+        assert topo.links[0].resolve(mn.home_address) is mn.iface

@@ -1,0 +1,283 @@
+"""Integration tests: mobile node <-> home agent over a small topology."""
+
+import pytest
+
+from repro.mipv6 import DeliveryMode, MobileIpv6Config, MobileNode
+from repro.net import Address, ApplicationData, Host, Ipv6Packet
+
+from topo_helpers import build_line
+
+GROUP = Address("ff1e::1")
+
+
+def make_mobile(topo, recv=DeliveryMode.LOCAL, send=DeliveryMode.LOCAL,
+                config=None, host_id=0x64, name="MN"):
+    """Mobile node homed on the first link of a line topology."""
+    home = topo.links[0]
+    ha = topo.routers[0]
+    mn = MobileNode(
+        topo.net.sim,
+        name,
+        tracer=topo.net.tracer,
+        rng=topo.net.rng,
+        home_link=home,
+        home_agent_address=ha.address_on(home),
+        host_id=host_id,
+        config=config,
+        recv_mode=recv,
+        send_mode=send,
+    )
+    topo.net.register_node(mn)
+    return mn, ha
+
+
+class TestHandoffPipeline:
+    def test_initially_at_home(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo)
+        assert mn.at_home
+        assert mn.current_source_address() == mn.home_address
+
+    def test_handoff_stages_traced_in_order(self):
+        cfg = MobileIpv6Config(
+            handoff_delay=0.1, movement_detection_delay=1.0, coa_config_delay=0.5
+        )
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, config=cfg)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        t = topo.net.tracer
+        detach = t.first("mobility", node="MN", event="detached")
+        attach = t.first("mobility", node="MN", event="attached")
+        detect = t.first("mobility", node="MN", event="movement-detected")
+        coa = t.first("mobility", node="MN", event="coa-configured")
+        assert detach.time == 1.0
+        assert attach.time == pytest.approx(1.1)
+        assert detect.time == pytest.approx(2.1)
+        assert coa.time == pytest.approx(2.6)
+
+    def test_coa_has_foreign_prefix(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        assert topo.links[2].prefix.contains(mn.care_of_address)
+        assert not mn.at_home
+
+    def test_binding_registered_at_home_agent(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        entry = ha.binding_cache.get(mn.home_address)
+        assert entry is not None
+        assert entry.care_of_address == mn.care_of_address
+
+    def test_binding_ack_received_and_rtt_recorded(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        assert len(mn.bu_rtts) == 1
+        assert 0 < mn.bu_rtts[0] < 0.1
+
+    def test_binding_refreshed_periodically(self):
+        cfg = MobileIpv6Config(binding_lifetime=40.0, binding_refresh_interval=15.0)
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, config=cfg)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=100.0)
+        # binding survives well past the lifetime thanks to refreshes
+        assert ha.binding_cache.get(mn.home_address) is not None
+        assert topo.net.tracer.count("mipv6", node="MN", event="bu-sent") >= 4
+
+    def test_binding_expires_without_refresh(self):
+        cfg = MobileIpv6Config(binding_lifetime=20.0, binding_refresh_interval=15.0)
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, config=cfg)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=5.0)
+        # silence the MN's refreshes by detaching it (it vanished)
+        mn.iface.detach()
+        topo.net.run(until=40.0)
+        assert ha.binding_cache.get(mn.home_address) is None
+        assert topo.net.tracer.count("mipv6", event="binding-expired") == 1
+
+
+class TestUnicastIntercept:
+    def test_home_agent_tunnels_unicast_to_coa(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo)
+        peer = topo.host_on(1, 0x99, "PEER")
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        got = []
+        mn.register_message_handler(ApplicationData, lambda p, m, i: got.append(m.seqno))
+        peer.route_and_send(
+            Ipv6Packet(peer.primary_address(), mn.home_address, ApplicationData(seqno=4))
+        )
+        topo.net.run(until=12.0)
+        assert got == [4]
+        assert ha.load["encapsulations"] >= 1
+        assert mn.load["decapsulations"] >= 1
+
+    def test_proxy_removed_after_return_home(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        mn.move_to(topo.links[0])
+        topo.net.run(until=20.0)
+        assert mn.at_home
+        assert ha.binding_cache.get(mn.home_address) is None
+        # the home link resolves the address to the MN again
+        assert topo.links[0].resolve(mn.home_address) is mn.iface
+
+
+class TestErroneousSourceWindow:
+    def test_stale_source_before_coa(self):
+        """§4.3.1: until movement detection + CoA config complete, outgoing
+        datagrams carry the old source address."""
+        cfg = MobileIpv6Config(movement_detection_delay=2.0, coa_config_delay=1.0)
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, config=cfg)
+        topo.net.run(until=1.0)
+        home = mn.home_address
+        mn.move_to(topo.links[2])
+        topo.net.run(until=1.5)  # attached at 1.1, CoA not before 4.1
+        pkt = mn.send_app_multicast(GROUP, ApplicationData(seqno=0))
+        assert pkt is not None and pkt.src == home
+        assert topo.net.tracer.count("mobility", event="erroneous-source-send") == 1
+
+    def test_detached_sends_lost(self):
+        cfg = MobileIpv6Config(handoff_delay=1.0)
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, config=cfg)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        # still detached (handoff takes 1 s)
+        assert mn.send_app_multicast(GROUP, ApplicationData(seqno=0)) is None
+        assert mn.handoff_losses == 1
+
+    def test_local_send_uses_coa_after_configuration(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, send=DeliveryMode.LOCAL)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        pkt = mn.send_app_multicast(GROUP, ApplicationData(seqno=0))
+        assert pkt.src == mn.care_of_address
+
+    def test_tunnel_send_wraps_home_address(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, send=DeliveryMode.HA_TUNNEL)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        pkt = mn.send_app_multicast(GROUP, ApplicationData(seqno=0))
+        assert pkt.is_tunneled
+        assert pkt.src == mn.care_of_address
+        assert pkt.dst == mn.home_agent_address
+        assert pkt.inner.src == mn.home_address
+        assert pkt.inner.dst == GROUP
+
+
+class TestGroupListSync:
+    def test_bu_carries_group_list_in_tunnel_mode(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, recv=DeliveryMode.HA_TUNNEL)
+        mn.join_group(GROUP)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        ev = topo.net.tracer.last("mipv6", node="MN", event="bu-sent")
+        assert ev.detail["groups"] == [str(GROUP)]
+        assert ha.groups_on_behalf() == [GROUP]
+        assert GROUP in ha.pim.node_groups
+
+    def test_join_while_away_updates_home_agent(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, recv=DeliveryMode.HA_TUNNEL)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        assert ha.groups_on_behalf() == []
+        mn.join_group(GROUP)
+        topo.net.run(until=15.0)
+        assert ha.groups_on_behalf() == [GROUP]
+
+    def test_leave_while_away_updates_home_agent(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, recv=DeliveryMode.HA_TUNNEL)
+        mn.join_group(GROUP)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        mn.leave_group(GROUP)
+        topo.net.run(until=15.0)
+        assert ha.groups_on_behalf() == []
+
+    def test_local_mode_bu_has_no_group_list(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, recv=DeliveryMode.LOCAL)
+        mn.join_group(GROUP)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        ev = topo.net.tracer.last("mipv6", node="MN", event="bu-sent")
+        assert ev.detail["groups"] == []
+        assert ha.groups_on_behalf() == []
+
+    def test_binding_expiry_drops_on_behalf_groups(self):
+        cfg = MobileIpv6Config(binding_lifetime=20.0, binding_refresh_interval=15.0)
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, recv=DeliveryMode.HA_TUNNEL, config=cfg)
+        mn.join_group(GROUP)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=5.0)
+        assert ha.groups_on_behalf() == [GROUP]
+        mn.iface.detach()  # MN vanishes; refreshes stop
+        topo.net.run(until=40.0)
+        assert ha.groups_on_behalf() == []
+
+    def test_deregistration_on_return_home(self):
+        topo = build_line(2, use_home_agents=True)
+        mn, ha = make_mobile(topo, recv=DeliveryMode.HA_TUNNEL)
+        mn.join_group(GROUP)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        mn.move_to(topo.links[0])
+        topo.net.run(until=20.0)
+        assert ha.groups_on_behalf() == []
+        assert topo.net.tracer.count("mipv6", event="binding-deregistered") == 1
+
+
+class TestBuRejection:
+    def test_bu_for_foreign_home_address_rejected(self):
+        """A BU whose home address is not on any of the HA's links gets a
+        status-132 Binding Acknowledgement."""
+        topo = build_line(2, use_home_agents=True)
+        # MN homed on the *last* link, served by R1 — but we aim its BUs at R0
+        last = topo.links[2]
+        wrong_ha = topo.routers[0].address_on(topo.links[0])
+        mn = MobileNode(
+            topo.net.sim, "MN", tracer=topo.net.tracer, rng=topo.net.rng,
+            home_link=last, home_agent_address=wrong_ha, host_id=0x64,
+        )
+        topo.net.register_node(mn)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[1])
+        topo.net.run(until=10.0)
+        assert topo.net.tracer.count("mipv6", node="R0", event="bu-rejected") >= 1
+        ev = topo.net.tracer.first("mipv6", node="MN", event="ba-received")
+        assert ev is not None and ev.detail["status"] == 132

@@ -1,0 +1,196 @@
+"""Unit + property tests for Mobile IPv6 option wire formats (Figure 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import Address
+from repro.mipv6 import (
+    AlternateCareOfAddressSubOption,
+    BindingAckOption,
+    BindingRequestOption,
+    BindingUpdateOption,
+    HomeAddressOption,
+    MulticastGroupListSubOption,
+    UniqueIdentifierSubOption,
+    parse_sub_options,
+)
+
+HOME = Address("2001:db8:4::67")
+COA = Address("2001:db8:6::67")
+
+multicast_addrs = st.integers(min_value=1, max_value=2**32 - 1).map(
+    lambda i: Address(Address("ff1e::").as_int() + i)
+)
+
+
+class TestMulticastGroupListSubOption:
+    """The paper's Figure 5 proposal."""
+
+    def test_suboption_len_is_16n(self):
+        """Figure 5: 'The Sub-Option Len fields must be set to 16N'."""
+        for n in (0, 1, 2, 5):
+            groups = [Address(Address("ff1e::").as_int() + k + 1) for k in range(n)]
+            raw = MulticastGroupListSubOption(groups).serialize()
+            assert raw[1] == 16 * n
+
+    def test_type_code(self):
+        raw = MulticastGroupListSubOption([Address("ff1e::1")]).serialize()
+        assert raw[0] == 3
+
+    def test_roundtrip(self):
+        groups = [Address("ff1e::1"), Address("ff1e::2")]
+        opt = MulticastGroupListSubOption(groups)
+        parsed = MulticastGroupListSubOption.parse(opt.data_bytes())
+        assert parsed.groups == groups
+
+    def test_rejects_unicast_group(self):
+        with pytest.raises(ValueError):
+            MulticastGroupListSubOption([HOME])
+
+    def test_parse_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            MulticastGroupListSubOption.parse(b"\x00" * 15)
+
+    def test_empty_list_valid(self):
+        opt = MulticastGroupListSubOption([])
+        assert opt.serialize() == bytes([3, 0])
+
+    def test_size_bytes(self):
+        opt = MulticastGroupListSubOption([Address("ff1e::1")])
+        assert opt.size_bytes == 2 + 16
+
+    @given(st.lists(multicast_addrs, max_size=10))
+    def test_roundtrip_property(self, groups):
+        opt = MulticastGroupListSubOption(groups)
+        raw = opt.serialize()
+        assert raw[1] == 16 * len(groups)
+        (parsed,) = parse_sub_options(raw) if groups or True else []
+        assert isinstance(parsed, MulticastGroupListSubOption)
+        assert parsed.groups == [Address(g) for g in groups]
+
+
+class TestOtherSubOptions:
+    def test_unique_identifier_roundtrip(self):
+        opt = UniqueIdentifierSubOption(0xBEEF)
+        assert UniqueIdentifierSubOption.parse(opt.data_bytes()) == opt
+
+    def test_unique_identifier_bad_length(self):
+        with pytest.raises(ValueError):
+            UniqueIdentifierSubOption.parse(b"\x00\x01\x02")
+
+    def test_alternate_coa_roundtrip(self):
+        opt = AlternateCareOfAddressSubOption(COA)
+        assert AlternateCareOfAddressSubOption.parse(opt.data_bytes()) == opt
+
+    def test_parse_sub_options_mixed(self):
+        raw = (
+            UniqueIdentifierSubOption(7).serialize()
+            + MulticastGroupListSubOption([Address("ff1e::9")]).serialize()
+        )
+        a, b = parse_sub_options(raw)
+        assert isinstance(a, UniqueIdentifierSubOption) and a.identifier == 7
+        assert isinstance(b, MulticastGroupListSubOption)
+
+    def test_parse_truncated_header(self):
+        with pytest.raises(ValueError):
+            parse_sub_options(b"\x01")
+
+    def test_parse_truncated_body(self):
+        with pytest.raises(ValueError):
+            parse_sub_options(bytes([1, 10, 0, 0]))
+
+    def test_parse_unknown_type(self):
+        with pytest.raises(ValueError):
+            parse_sub_options(bytes([99, 0]))
+
+
+class TestBindingUpdate:
+    def _bu(self, **kw):
+        defaults = dict(
+            home_address=HOME, care_of_address=COA, lifetime=256.0, sequence=9
+        )
+        defaults.update(kw)
+        return BindingUpdateOption(**defaults)
+
+    def test_roundtrip_plain(self):
+        bu = self._bu()
+        raw = bu.serialize()
+        parsed = BindingUpdateOption.parse(raw[2:], HOME, COA)
+        assert parsed.sequence == 9
+        assert parsed.lifetime == 256.0
+        assert parsed.ack_requested and parsed.home_registration
+
+    def test_roundtrip_with_group_list(self):
+        """The paper's 'extended Binding Update' (§4.3.2)."""
+        groups = [Address("ff1e::1"), Address("ff1e::2")]
+        bu = self._bu(sub_options=(MulticastGroupListSubOption(groups),))
+        parsed = BindingUpdateOption.parse(bu.serialize()[2:], HOME, COA)
+        assert parsed.multicast_groups() == groups
+
+    def test_flags_roundtrip(self):
+        bu = self._bu(ack_requested=False, home_registration=True)
+        parsed = BindingUpdateOption.parse(bu.serialize()[2:], HOME, COA)
+        assert not parsed.ack_requested and parsed.home_registration
+
+    def test_size_matches_serialization(self):
+        bu = self._bu(sub_options=(MulticastGroupListSubOption([Address("ff1e::1")]),))
+        assert bu.size_bytes == len(bu.serialize())
+
+    def test_multicast_groups_empty_without_suboption(self):
+        assert self._bu().multicast_groups() == []
+
+    def test_parse_too_short(self):
+        with pytest.raises(ValueError):
+            BindingUpdateOption.parse(b"\x00" * 4, HOME, COA)
+
+    def test_describe_mentions_groups(self):
+        bu = self._bu(sub_options=(MulticastGroupListSubOption([Address("ff1e::1")]),))
+        assert "groups=1" in bu.describe()
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=100000),
+        st.lists(multicast_addrs, max_size=6),
+    )
+    def test_roundtrip_property(self, seq, lifetime, groups):
+        bu = BindingUpdateOption(
+            HOME, COA, float(lifetime), sequence=seq,
+            sub_options=(MulticastGroupListSubOption(groups),),
+        )
+        parsed = BindingUpdateOption.parse(bu.serialize()[2:], HOME, COA)
+        assert parsed.sequence == seq
+        assert parsed.lifetime == float(lifetime)
+        assert parsed.multicast_groups() == [Address(g) for g in groups]
+
+
+class TestBindingAckAndOthers:
+    def test_ba_roundtrip(self):
+        ba = BindingAckOption(status=0, sequence=5, lifetime=200.0, refresh=100.0)
+        parsed = BindingAckOption.parse(ba.serialize()[2:])
+        assert (parsed.status, parsed.sequence, parsed.lifetime, parsed.refresh) == (
+            0, 5, 200.0, 100.0,
+        )
+
+    def test_ba_accepted_threshold(self):
+        assert BindingAckOption(status=0).accepted
+        assert BindingAckOption(status=127).accepted
+        assert not BindingAckOption(status=128).accepted
+        assert not BindingAckOption(status=132).accepted
+
+    def test_ba_too_short(self):
+        with pytest.raises(ValueError):
+            BindingAckOption.parse(b"\x00" * 8)
+
+    def test_home_address_roundtrip(self):
+        opt = HomeAddressOption(HOME)
+        raw = opt.serialize()
+        assert raw[1] == 16
+        assert HomeAddressOption.parse(raw[2:]).home_address == HOME
+
+    def test_home_address_size(self):
+        assert HomeAddressOption(HOME).size_bytes == 18
+
+    def test_binding_request_minimal(self):
+        br = BindingRequestOption()
+        assert br.size_bytes == 2
+        assert br.serialize() == bytes([0x08, 0])

@@ -1,0 +1,182 @@
+"""Tests for correspondent-node route optimization (draft §8 / paper §2).
+
+A mobile away from home sends directly from its care-of address with a
+Home Address option; a correspondent that processes its Binding Updates
+sends directly to the care-of address, bypassing the home agent.
+"""
+
+import pytest
+
+from repro.mipv6 import CorrespondentHost, DeliveryMode, MobileNode
+from repro.net import Address, ApplicationData
+
+from topo_helpers import build_line
+
+GROUP = Address("ff1e::1")
+
+
+def build(seed=5):
+    """line: home(L0) -R0- L1 -R1- L2; CN on L1, MN homed on L0."""
+    topo = build_line(2, seed=seed, use_home_agents=True)
+    cn = CorrespondentHost(topo.net.sim, "CN", tracer=topo.net.tracer,
+                           rng=topo.net.rng)
+    cn.attach_to(topo.links[1], topo.links[1].prefix.address_for_host(0x99))
+    topo.net.register_node(cn)
+    mn = MobileNode(
+        topo.net.sim, "MN", tracer=topo.net.tracer, rng=topo.net.rng,
+        home_link=topo.links[0],
+        home_agent_address=topo.routers[0].address_on(topo.links[0]),
+        host_id=0x64,
+    )
+    topo.net.register_node(mn)
+    return topo, cn, mn
+
+
+class TestHomeAddressOption:
+    def test_away_sends_carry_home_address_option(self):
+        topo, cn, mn = build()
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        pkt = mn.send_to_correspondent(
+            cn.primary_address(), ApplicationData(seqno=0)
+        )
+        assert pkt.src == mn.care_of_address
+        from repro.mipv6 import HomeAddressOption
+
+        opt = pkt.find_option(HomeAddressOption)
+        assert opt is not None and opt.home_address == mn.home_address
+
+    def test_at_home_sends_plain(self):
+        topo, cn, mn = build()
+        topo.net.run(until=1.0)
+        pkt = mn.send_to_correspondent(
+            cn.primary_address(), ApplicationData(seqno=0)
+        )
+        assert pkt.src == mn.home_address
+        assert pkt.dest_options == ()
+
+
+class TestCorrespondentBindingCache:
+    def test_cn_learns_binding_from_bu(self):
+        topo, cn, mn = build()
+        mn.register_correspondent(cn.primary_address())
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        assert cn.peer_binding(mn.home_address) == mn.care_of_address
+        assert topo.net.tracer.count("mipv6", node="MN", event="cn-bu-sent") >= 1
+
+    def test_cn_binding_expires(self):
+        from repro.mipv6 import MobileIpv6Config
+
+        topo = build_line(2, seed=6, use_home_agents=True)
+        cn = CorrespondentHost(topo.net.sim, "CN", tracer=topo.net.tracer,
+                               rng=topo.net.rng)
+        cn.attach_to(topo.links[1], topo.links[1].prefix.address_for_host(0x99))
+        topo.net.register_node(cn)
+        mn = MobileNode(
+            topo.net.sim, "MN", tracer=topo.net.tracer, rng=topo.net.rng,
+            home_link=topo.links[0],
+            home_agent_address=topo.routers[0].address_on(topo.links[0]),
+            host_id=0x64,
+            config=MobileIpv6Config(binding_lifetime=20.0,
+                                    binding_refresh_interval=9.0),
+        )
+        topo.net.register_node(mn)
+        mn.register_correspondent(cn.primary_address())
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        assert cn.peer_binding(mn.home_address) is not None
+        mn.iface.detach()  # MN disappears; no more refreshes
+        topo.net.run(until=60.0)
+        assert cn.peer_binding(mn.home_address) is None
+
+    def test_home_registration_bu_not_cached_by_cn(self):
+        """A CN receiving a misdirected home-registration BU ignores it."""
+        topo, cn, mn = build()
+        from repro.mipv6 import BindingUpdateOption
+        from repro.net import ControlPayload, Ipv6Packet
+
+        bu = BindingUpdateOption(
+            mn.home_address, Address("2001:db8:3::64"), 100.0,
+            home_registration=True,
+        )
+        pkt = Ipv6Packet(
+            Address("2001:db8:3::64"), cn.primary_address(),
+            ControlPayload(), dest_options=(bu,),
+        )
+        cn.receive(pkt, cn.interfaces[0])
+        assert cn.peer_binding(mn.home_address) is None
+
+
+class TestRouteOptimizedPath:
+    def test_without_binding_triangle_via_home_agent(self):
+        topo, cn, mn = build()
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        got = []
+        mn.register_message_handler(
+            ApplicationData, lambda p, m, i: got.append(m.seqno)
+        )
+        cn.send_to_peer(mn.home_address, ApplicationData(seqno=1))
+        topo.net.run(until=12.0)
+        assert got == [1]
+        assert cn.triangle_sends == 1
+        # the packet was intercepted and tunneled by the home agent
+        assert topo.routers[0].load["encapsulations"] >= 1
+
+    def test_with_binding_direct_to_coa(self):
+        topo, cn, mn = build()
+        mn.register_correspondent(cn.primary_address())
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])
+        topo.net.run(until=10.0)
+        ha_encaps_before = topo.routers[0].load["encapsulations"]
+        got = []
+        mn.register_message_handler(
+            ApplicationData, lambda p, m, i: got.append(m.seqno)
+        )
+        cn.send_to_peer(mn.home_address, ApplicationData(seqno=2))
+        topo.net.run(until=12.0)
+        assert got == [2]
+        assert cn.route_optimized_sends == 1
+        # the home agent was not involved
+        assert topo.routers[0].load["encapsulations"] == ha_encaps_before
+
+    def test_route_optimization_cuts_latency(self):
+        """CN on the MN's foreign link: direct is 1 hop, triangle is 4."""
+        topo = build_line(2, seed=8, use_home_agents=True)
+        cn = CorrespondentHost(topo.net.sim, "CN", tracer=topo.net.tracer,
+                               rng=topo.net.rng)
+        cn.attach_to(topo.links[2], topo.links[2].prefix.address_for_host(0x99))
+        topo.net.register_node(cn)
+        mn = MobileNode(
+            topo.net.sim, "MN", tracer=topo.net.tracer, rng=topo.net.rng,
+            home_link=topo.links[0],
+            home_agent_address=topo.routers[0].address_on(topo.links[0]),
+            host_id=0x64,
+        )
+        topo.net.register_node(mn)
+        topo.net.run(until=1.0)
+        mn.move_to(topo.links[2])  # same link as the CN
+        topo.net.run(until=10.0)
+
+        times = []
+        mn.register_message_handler(
+            ApplicationData, lambda p, m, i: times.append(topo.net.sim.now)
+        )
+        t0 = topo.net.sim.now
+        cn.send_to_peer(mn.home_address, ApplicationData(seqno=0))
+        topo.net.run(until=t0 + 2.0)
+        triangle_latency = times[0] - t0
+
+        mn.register_correspondent(cn.primary_address())
+        topo.net.run(until=topo.net.sim.now + 2.0)
+        t1 = topo.net.sim.now
+        cn.send_to_peer(mn.home_address, ApplicationData(seqno=1))
+        topo.net.run(until=t1 + 2.0)
+        direct_latency = times[1] - t1
+        assert direct_latency < triangle_latency / 2

@@ -1,0 +1,74 @@
+"""Tests for the RFC 2710 'Done only if last reporter' refinement."""
+
+from repro.mld import MldConfig, MldDone, MldHost, MldQuery
+from repro.net import ALL_NODES, Address, Host, Ipv6Packet, Network
+
+GROUP = Address("ff1e::1")
+STRICT = MldConfig(done_only_if_last_reporter=True)
+
+
+def lan(config, n=2, seed=11):
+    net = Network(seed=seed)
+    link = net.add_link("LAN", "2001:db8:1::/64")
+    hosts, mlds = [], []
+    for i in range(n):
+        h = Host(net.sim, f"H{i}", tracer=net.tracer, rng=net.rng)
+        h.attach_to(link, link.prefix.address_for_host(i + 1))
+        net.register_node(h)
+        hosts.append(h)
+        mlds.append(MldHost(h, config))
+    return net, link, hosts, mlds
+
+
+def query_all(net, hosts, mrd=10.0):
+    src = Address("2001:db8:1::fe")
+    for h in hosts:
+        h.receive(Ipv6Packet(src, ALL_NODES, MldQuery(None, mrd), hop_limit=1),
+                  h.interfaces[0])
+
+
+class TestDoneSuppression:
+    def test_last_reporter_sends_done(self):
+        net, link, hosts, mlds = lan(STRICT, n=1)
+        mlds[0].join(GROUP)  # our unsolicited Report makes us last reporter
+        net.sim.run(until=1.0)
+        mlds[0].leave(GROUP)
+        net.sim.run()
+        assert net.tracer.count("mld", event="done-sent") == 1
+
+    def test_suppressed_host_skips_done(self):
+        """Both join; the query-response race leaves one host suppressed;
+        that host must not send Done in strict mode."""
+        net, link, hosts, mlds = lan(STRICT, n=2)
+        mlds[0].join(GROUP, send_unsolicited=False)
+        mlds[1].join(GROUP, send_unsolicited=False)
+        query_all(net, hosts)
+        net.sim.run(until=12.0)
+        suppressed = [m for m in mlds if GROUP not in m._last_reporter]
+        reporters = [m for m in mlds if GROUP in m._last_reporter]
+        assert len(suppressed) == 1 and len(reporters) == 1
+        suppressed[0].leave(GROUP)
+        net.sim.run()
+        assert net.tracer.count("mld", event="done-sent") == 0
+        reporters[0].leave(GROUP)
+        net.sim.run()
+        assert net.tracer.count("mld", event="done-sent") == 1
+
+    def test_default_mode_always_sends_done(self):
+        net, link, hosts, mlds = lan(MldConfig(), n=2)
+        mlds[0].join(GROUP, send_unsolicited=False)
+        mlds[1].join(GROUP)  # H1 reported; H0 never did
+        net.sim.run(until=1.0)
+        mlds[0].leave(GROUP)
+        net.sim.run()
+        assert net.tracer.count("mld", event="done-sent") == 1
+
+    def test_hearing_other_report_clears_flag(self):
+        net, link, hosts, mlds = lan(STRICT, n=2)
+        mlds[0].join(GROUP)  # H0 reports -> last reporter
+        net.sim.run(until=1.0)
+        assert GROUP in mlds[0]._last_reporter
+        mlds[1].join(GROUP)  # H1's unsolicited Report overrides
+        net.sim.run(until=2.0)
+        assert GROUP not in mlds[0]._last_reporter
+        assert GROUP in mlds[1]._last_reporter

@@ -1,0 +1,172 @@
+"""Unit tests for the MLD host part."""
+
+import pytest
+
+from repro.mld import MldConfig, MldDone, MldHost, MldQuery, MldReport
+from repro.net import ALL_NODES, ALL_ROUTERS, Address, Host, Ipv6Packet, Network
+
+GROUP = Address("ff1e::1")
+GROUP2 = Address("ff1e::2")
+
+
+def host_pair(seed=1, config=None, n=2):
+    """n hosts with MLD host parts on one link; returns net, link, hosts, mlds."""
+    net = Network(seed=seed)
+    link = net.add_link("LAN", "2001:db8:1::/64")
+    hosts, mlds = [], []
+    for i in range(n):
+        h = Host(net.sim, f"H{i}", tracer=net.tracer, rng=net.rng)
+        h.attach_to(link, link.prefix.address_for_host(i + 1))
+        net.register_node(h)
+        hosts.append(h)
+        mlds.append(MldHost(h, config))
+    return net, link, hosts, mlds
+
+
+def reports_sent(net, node=None):
+    return net.tracer.count("mld", event="report-sent", node=node)
+
+
+class TestJoinLeave:
+    def test_join_sends_unsolicited_report(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP)
+        net.sim.run(until=0.1)
+        assert reports_sent(net, "H0") == 1
+
+    def test_join_repeats_unsolicited_reports(self):
+        cfg = MldConfig(unsolicited_report_count=3, unsolicited_report_interval=5.0)
+        net, link, hosts, mlds = host_pair(config=cfg)
+        mlds[0].join(GROUP)
+        net.sim.run(until=20.0)
+        assert reports_sent(net, "H0") == 3
+
+    def test_join_without_unsolicited(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP, send_unsolicited=False)
+        net.sim.run(until=1.0)
+        assert reports_sent(net) == 0
+        assert GROUP in mlds[0].groups
+
+    def test_join_non_multicast_rejected(self):
+        net, link, hosts, mlds = host_pair()
+        with pytest.raises(ValueError):
+            mlds[0].join(Address("2001:db8::1"))
+
+    def test_join_updates_host_joined_groups(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP, send_unsolicited=False)
+        assert GROUP in hosts[0].joined_groups
+
+    def test_leave_sends_done_to_all_routers(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP, send_unsolicited=False)
+        dones = []
+        hosts[1].register_message_handler(
+            MldDone, lambda p, m, i: dones.append((str(p.dst), str(m.group)))
+        )
+        mlds[0].leave(GROUP)
+        net.sim.run()
+        assert dones == [(str(ALL_ROUTERS), str(GROUP))]
+
+    def test_leave_without_done(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP, send_unsolicited=False)
+        mlds[0].leave(GROUP, send_done=False)
+        net.sim.run()
+        assert net.tracer.count("mld", event="done-sent") == 0
+        assert GROUP not in mlds[0].groups
+
+
+class TestQueryResponse:
+    def _query(self, net, link, hosts, general=True, group=None, mrd=10.0):
+        src = Address("2001:db8:1::fe")  # pretend-router address
+        q = MldQuery(None if general else group, mrd)
+        dst = ALL_NODES if general else group
+        # inject at each host directly as if from the link
+        for h in hosts:
+            h.receive(Ipv6Packet(src, dst, q, hop_limit=1), h.interfaces[0])
+
+    def test_general_query_triggers_report_within_mrd(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP, send_unsolicited=False)
+        self._query(net, link, hosts)
+        net.sim.run(until=10.5)
+        assert reports_sent(net, "H0") == 1
+        ev = net.tracer.first("mld", event="report-sent")
+        assert 0 <= ev.time <= 10.0
+
+    def test_specific_query_only_that_group(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP, send_unsolicited=False)
+        mlds[0].join(GROUP2, send_unsolicited=False)
+        self._query(net, link, hosts, general=False, group=GROUP2, mrd=1.0)
+        net.sim.run(until=2.0)
+        assert reports_sent(net) == 1
+
+    def test_specific_query_not_joined_ignored(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP, send_unsolicited=False)
+        self._query(net, link, hosts, general=False, group=GROUP2, mrd=1.0)
+        net.sim.run(until=2.0)
+        assert reports_sent(net) == 0
+
+    def test_not_joined_no_response(self):
+        net, link, hosts, mlds = host_pair()
+        self._query(net, link, hosts)
+        net.sim.run(until=11.0)
+        assert reports_sent(net) == 0
+
+    def test_report_suppression(self):
+        """Only one member answers per group per query (RFC 2710 §4)."""
+        net, link, hosts, mlds = host_pair(n=5)
+        for m in mlds:
+            m.join(GROUP, send_unsolicited=False)
+        self._query(net, link, hosts)
+        net.sim.run(until=11.0)
+        total = reports_sent(net)
+        suppressed = net.tracer.count("mld", event="suppressed")
+        assert total + suppressed == 5
+        assert total >= 1
+        assert suppressed >= 1
+
+    def test_earlier_deadline_kept_on_requery(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP, send_unsolicited=False)
+        self._query(net, link, hosts, mrd=1.0)
+        self._query(net, link, hosts, mrd=100.0)
+        net.sim.run(until=5.0)
+        assert reports_sent(net) == 1  # the 1 s deadline survived
+
+
+class TestMobility:
+    def test_after_move_resends_reports(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP, send_unsolicited=False)
+        mlds[0].after_move()
+        net.sim.run(until=0.1)
+        assert reports_sent(net, "H0") == 1
+
+    def test_after_move_disabled_by_config(self):
+        cfg = MldConfig(unsolicited_reports_on_move=False)
+        net, link, hosts, mlds = host_pair(config=cfg)
+        mlds[0].join(GROUP, send_unsolicited=False)
+        mlds[0].after_move()
+        net.sim.run(until=1.0)
+        assert reports_sent(net) == 0
+
+    def test_suspend_clears_state_silently(self):
+        net, link, hosts, mlds = host_pair()
+        mlds[0].join(GROUP, send_unsolicited=False)
+        mlds[0].suspend()
+        net.sim.run()
+        assert mlds[0].groups == set()
+        assert GROUP not in hosts[0].joined_groups
+        assert net.tracer.count("mld", event="done-sent") == 0
+
+    def test_detached_host_sends_nothing(self):
+        net, link, hosts, mlds = host_pair()
+        hosts[0].interfaces[0].detach()
+        mlds[0].join(GROUP)  # must not crash
+        net.sim.run()
+        assert reports_sent(net) == 0

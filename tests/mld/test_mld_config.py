@@ -1,0 +1,52 @@
+"""Unit tests for MLD configuration and derived timers."""
+
+import pytest
+
+from repro.mld import MldConfig
+
+
+class TestDefaults:
+    def test_rfc_defaults(self):
+        cfg = MldConfig()
+        assert cfg.query_interval == 125.0
+        assert cfg.query_response_interval == 10.0
+        assert cfg.robustness == 2
+
+    def test_t_mli_formula(self):
+        """Paper §3.2: T_MLI = 2 * T_Query + T_RespDel = 260 s."""
+        assert MldConfig().multicast_listener_interval == 260.0
+
+    def test_other_querier_present(self):
+        assert MldConfig().other_querier_present_interval == 255.0
+
+
+class TestTuning:
+    def test_with_query_interval(self):
+        cfg = MldConfig().with_query_interval(20.0)
+        assert cfg.query_interval == 20.0
+        assert cfg.multicast_listener_interval == 2 * 20 + 10
+        assert cfg.startup_query_interval == 5.0
+
+    def test_t_mli_scales_with_robustness(self):
+        cfg = MldConfig(robustness=3)
+        assert cfg.multicast_listener_interval == 3 * 125 + 10
+
+    def test_footnote5_lower_bound_enforced(self):
+        """Paper footnote 5: T_Query must not go below T_RespDel."""
+        with pytest.raises(ValueError):
+            MldConfig(query_interval=5.0, query_response_interval=10.0)
+        # exactly at the bound is allowed
+        MldConfig(query_interval=10.0, query_response_interval=10.0)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            MldConfig(query_interval=0.0)
+        with pytest.raises(ValueError):
+            MldConfig(query_response_interval=-1.0)
+        with pytest.raises(ValueError):
+            MldConfig(robustness=0)
+
+    def test_frozen(self):
+        cfg = MldConfig()
+        with pytest.raises(Exception):
+            cfg.query_interval = 1.0  # type: ignore

@@ -1,0 +1,43 @@
+"""Unit tests for MLD message types."""
+
+from repro.mld import MLD_MESSAGE_BYTES, MldDone, MldQuery, MldReport
+from repro.net import Address
+
+GROUP = Address("ff1e::1")
+
+
+class TestSizes:
+    def test_all_messages_24_bytes(self):
+        assert MldQuery().size_bytes == MLD_MESSAGE_BYTES == 24
+        assert MldReport(GROUP).size_bytes == 24
+        assert MldDone(GROUP).size_bytes == 24
+
+    def test_protocol_tag(self):
+        assert MldQuery().protocol == "mld"
+        assert MldReport(GROUP).protocol == "mld"
+        assert MldDone(GROUP).protocol == "mld"
+
+
+class TestQuery:
+    def test_general_query(self):
+        q = MldQuery()
+        assert q.is_general
+        assert "general" in q.describe()
+
+    def test_specific_query(self):
+        q = MldQuery(GROUP, 1.0)
+        assert not q.is_general
+        assert str(GROUP) in q.describe()
+
+    def test_default_mrd(self):
+        assert MldQuery().max_response_delay == 10.0
+
+
+class TestReportDone:
+    def test_describe(self):
+        assert str(GROUP) in MldReport(GROUP).describe()
+        assert str(GROUP) in MldDone(GROUP).describe()
+
+    def test_hashable(self):
+        assert MldReport(GROUP) == MldReport(GROUP)
+        assert len({MldReport(GROUP), MldReport(GROUP)}) == 1

@@ -1,0 +1,230 @@
+"""Unit tests for the MLD router part."""
+
+import pytest
+
+from repro.mld import MldConfig, MldDone, MldHost, MldQuery, MldReport, MldRouter
+from repro.net import Address, Host, Ipv6Packet, Network
+
+GROUP = Address("ff1e::1")
+
+
+def router_with_hosts(seed=1, config=None, n_hosts=1, n_routers=1):
+    net = Network(seed=seed)
+    link = net.add_link("LAN", "2001:db8:1::/64")
+    routers, engines = [], []
+    for i in range(n_routers):
+        from repro.net import Node
+
+        r = Node(net.sim, f"R{i}", tracer=net.tracer, rng=net.rng)
+        r.is_router = True
+        r.attach_to(link, link.prefix.address_for_host(i + 1))
+        net.register_node(r)
+        engine = MldRouter(r, config)
+        net.on_start(engine.start)
+        routers.append(r)
+        engines.append(engine)
+    hosts, mlds = [], []
+    for i in range(n_hosts):
+        h = Host(net.sim, f"H{i}", tracer=net.tracer, rng=net.rng)
+        h.attach_to(link, link.prefix.address_for_host(100 + i))
+        net.register_node(h)
+        hosts.append(h)
+        mlds.append(MldHost(h, config))
+    return net, link, routers, engines, hosts, mlds
+
+
+class TestQuerier:
+    def test_sends_startup_queries(self):
+        cfg = MldConfig(query_interval=100.0, startup_query_interval=25.0,
+                        startup_query_count=2)
+        net, link, routers, engines, hosts, mlds = router_with_hosts(config=cfg)
+        net.run(until=30.0)
+        # startup queries at t=0 and t=25
+        assert net.tracer.count("mld", event="query-sent") == 2
+
+    def test_steady_period_after_startup(self):
+        cfg = MldConfig(query_interval=50.0, startup_query_interval=10.0,
+                        startup_query_count=2)
+        net, link, routers, engines, hosts, mlds = router_with_hosts(config=cfg)
+        net.run(until=121.0)
+        times = [e.time for e in net.tracer.query("mld", event="query-sent")]
+        assert times == [0.0, 10.0, 60.0, 110.0]
+
+    def test_querier_election_lowest_address_wins(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts(n_routers=2)
+        net.run(until=5.0)
+        # R0 has ::1, R1 has ::2 -> R1 must stand down
+        assert engines[0].is_querier(routers[0].interfaces[0])
+        assert not engines[1].is_querier(routers[1].interfaces[0])
+        assert net.tracer.count("mld", event="querier-standdown", node="R1") == 1
+
+    def test_non_querier_resumes_after_interval(self):
+        cfg = MldConfig(query_interval=20.0, query_response_interval=10.0,
+                        startup_query_interval=5.0)
+        net, link, routers, engines, hosts, mlds = router_with_hosts(
+            config=cfg, n_routers=2
+        )
+        net.run(until=5.0)
+        assert not engines[1].is_querier(routers[1].interfaces[0])
+        # silence R0's queries: detach it
+        routers[0].interfaces[0].detach()
+        net.run(until=5.0 + cfg.other_querier_present_interval + 25.0)
+        assert engines[1].is_querier(routers[1].interfaces[0])
+
+
+class TestMembership:
+    def test_report_creates_membership(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        net.start()
+        mlds[0].join(GROUP)
+        net.run(until=1.0)
+        assert engines[0].has_members(routers[0].interfaces[0], GROUP)
+
+    def test_membership_notification_fired(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        changes = []
+        engines[0].on_membership_change(
+            lambda iface, group, present: changes.append((str(group), present))
+        )
+        net.start()
+        mlds[0].join(GROUP)
+        net.run(until=1.0)
+        assert changes == [(str(GROUP), True)]
+
+    def test_membership_expires_after_t_mli(self):
+        cfg = MldConfig(query_interval=10.0, query_response_interval=10.0)
+        net, link, routers, engines, hosts, mlds = router_with_hosts(config=cfg)
+        net.start()
+        mlds[0].join(GROUP)  # report at ~t0
+        net.run(until=0.5)
+        # silence the host so reports stop refreshing the timer
+        mlds[0].suspend()
+        net.run(until=0.5 + cfg.multicast_listener_interval + 1.0)
+        assert not engines[0].has_members(routers[0].interfaces[0], GROUP)
+        assert net.tracer.count("mld", event="members-gone") == 1
+
+    def test_reports_refresh_timer(self):
+        cfg = MldConfig(query_interval=10.0, query_response_interval=10.0)
+        net, link, routers, engines, hosts, mlds = router_with_hosts(config=cfg)
+        net.start()
+        mlds[0].join(GROUP)
+        # periodic queries keep eliciting reports; membership must persist
+        net.run(until=3 * cfg.multicast_listener_interval)
+        assert engines[0].has_members(routers[0].interfaces[0], GROUP)
+
+    def test_link_scope_groups_ignored(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        net.start()
+        iface = routers[0].interfaces[0]
+        pkt = Ipv6Packet(
+            hosts[0].primary_address(), Address("ff02::99"),
+            MldReport(Address("ff02::99")), hop_limit=1,
+        )
+        routers[0].receive(pkt, iface)
+        assert not engines[0].has_members(iface, Address("ff02::99"))
+
+    def test_groups_on(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        net.start()
+        mlds[0].join(GROUP)
+        mlds[0].join(Address("ff1e::2"))
+        net.run(until=1.0)
+        assert engines[0].groups_on(routers[0].interfaces[0]) == {
+            GROUP, Address("ff1e::2"),
+        }
+
+    def test_membership_expiry_time_query(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        net.start()
+        mlds[0].join(GROUP)
+        net.run(until=1.0)
+        expiry = engines[0].membership_expiry(routers[0].interfaces[0], GROUP)
+        assert expiry is not None and expiry > net.now
+
+
+class TestDone:
+    def test_done_triggers_fast_leave(self):
+        cfg = MldConfig(last_listener_query_count=2, last_listener_query_interval=1.0)
+        net, link, routers, engines, hosts, mlds = router_with_hosts(config=cfg)
+        net.start()
+        mlds[0].join(GROUP)
+        net.run(until=1.0)
+        mlds[0].leave(GROUP)  # sends Done
+        net.run(until=5.0)
+        assert not engines[0].has_members(routers[0].interfaces[0], GROUP)
+        ev = net.tracer.first("mld", event="members-gone")
+        assert ev.time <= 1.0 + 2 * 1.0 + 0.1  # within LLQC * LLQI
+
+    def test_done_answered_by_remaining_member(self):
+        cfg = MldConfig(last_listener_query_count=2, last_listener_query_interval=1.0)
+        net, link, routers, engines, hosts, mlds = router_with_hosts(
+            config=cfg, n_hosts=2
+        )
+        net.start()
+        mlds[0].join(GROUP)
+        mlds[1].join(GROUP)
+        net.run(until=1.0)
+        mlds[0].leave(GROUP)
+        net.run(until=6.0)
+        # H1 answered the specific query; membership survives
+        assert engines[0].has_members(routers[0].interfaces[0], GROUP)
+
+    def test_done_for_unknown_group_ignored(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        net.start()
+        iface = routers[0].interfaces[0]
+        pkt = Ipv6Packet(
+            hosts[0].primary_address(), Address("ff02::2"), MldDone(GROUP), hop_limit=1
+        )
+        routers[0].receive(pkt, iface)  # no state, no crash
+        net.run(until=3.0)
+
+
+class TestStaticMembership:
+    def test_static_join_notifies(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        changes = []
+        engines[0].on_membership_change(
+            lambda iface, g, present: changes.append(present)
+        )
+        iface = routers[0].interfaces[0]
+        engines[0].add_static_membership(iface, GROUP)
+        assert changes == [True]
+        assert engines[0].has_members(iface, GROUP)
+
+    def test_static_membership_never_expires(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        net.start()
+        iface = routers[0].interfaces[0]
+        engines[0].add_static_membership(iface, GROUP)
+        net.run(until=1000.0)
+        assert engines[0].has_members(iface, GROUP)
+
+    def test_static_refcounting(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        iface = routers[0].interfaces[0]
+        changes = []
+        engines[0].on_membership_change(lambda i, g, p: changes.append(p))
+        engines[0].add_static_membership(iface, GROUP)
+        engines[0].add_static_membership(iface, GROUP)
+        engines[0].remove_static_membership(iface, GROUP)
+        assert engines[0].has_members(iface, GROUP)
+        engines[0].remove_static_membership(iface, GROUP)
+        assert not engines[0].has_members(iface, GROUP)
+        assert changes == [True, False]
+
+    def test_static_plus_dynamic_membership(self):
+        """A report-backed membership and a static one coexist; removing
+        the static one keeps the reported membership alive."""
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        net.start()
+        iface = routers[0].interfaces[0]
+        mlds[0].join(GROUP)
+        net.run(until=1.0)
+        engines[0].add_static_membership(iface, GROUP)
+        engines[0].remove_static_membership(iface, GROUP)
+        assert engines[0].has_members(iface, GROUP)
+
+    def test_remove_absent_static_is_noop(self):
+        net, link, routers, engines, hosts, mlds = router_with_hosts()
+        engines[0].remove_static_membership(routers[0].interfaces[0], GROUP)

@@ -1,0 +1,145 @@
+"""Unit tests for mobility models."""
+
+import pytest
+
+from repro.mipv6 import MobileNode
+from repro.mobility import PoissonMobility, RandomWaypointMobility, ScriptedMobility
+
+from topo_helpers import build_line
+
+
+def mobile_on_line(n_routers=3):
+    topo = build_line(n_routers, use_home_agents=True)
+    home = topo.links[0]
+    mn = MobileNode(
+        topo.net.sim, "MN", tracer=topo.net.tracer, rng=topo.net.rng,
+        home_link=home,
+        home_agent_address=topo.routers[0].address_on(home),
+        host_id=0x64,
+    )
+    topo.net.register_node(mn)
+    return topo, mn
+
+
+class TestScripted:
+    def test_replays_schedule(self):
+        topo, mn = mobile_on_line()
+        model = ScriptedMobility(
+            mn, [(10.0, topo.links[2]), (30.0, topo.links[3])]
+        )
+        topo.net.on_start(model.start)
+        topo.net.run(until=20.0)
+        assert mn.current_link is topo.links[2]
+        topo.net.run(until=40.0)
+        assert mn.current_link is topo.links[3]
+        assert model.moves_done == 2
+
+    def test_schedule_sorted(self):
+        topo, mn = mobile_on_line()
+        model = ScriptedMobility(
+            mn, [(30.0, topo.links[3]), (10.0, topo.links[2])]
+        )
+        assert [t for t, _ in model.schedule] == [10.0, 30.0]
+
+
+class TestRandomWaypoint:
+    def test_moves_within_dwell_bounds(self):
+        topo, mn = mobile_on_line()
+        model = RandomWaypointMobility(
+            mn, topo.links, min_dwell=5.0, max_dwell=10.0
+        )
+        topo.net.on_start(model.start)
+        topo.net.run(until=100.0)
+        assert model.moves_done >= 8
+        gaps = [
+            b - a for a, b in zip(model.move_times, model.move_times[1:])
+        ]
+        assert all(4.9 <= g <= 10.1 for g in gaps)
+
+    def test_never_moves_to_current_link(self):
+        topo, mn = mobile_on_line()
+        model = RandomWaypointMobility(
+            mn, topo.links, min_dwell=2.0, max_dwell=4.0
+        )
+        topo.net.on_start(model.start)
+        seen = []
+        orig = mn.move_to
+
+        def spy(link):
+            seen.append((mn.current_link, link))
+            orig(link)
+
+        mn.move_to = spy  # type: ignore
+        topo.net.run(until=60.0)
+        assert all(cur is not dst for cur, dst in seen)
+
+    def test_max_moves_cap(self):
+        topo, mn = mobile_on_line()
+        model = RandomWaypointMobility(
+            mn, topo.links, min_dwell=1.0, max_dwell=2.0, max_moves=3
+        )
+        topo.net.on_start(model.start)
+        topo.net.run(until=100.0)
+        assert model.moves_done == 3
+
+    def test_exclude_home(self):
+        topo, mn = mobile_on_line()
+        model = RandomWaypointMobility(
+            mn, topo.links, min_dwell=1.0, max_dwell=2.0, include_home=False
+        )
+        topo.net.on_start(model.start)
+        topo.net.run(until=60.0)
+        assert all(
+            mn.home_link is not link
+            for link in [mn.current_link]
+        )
+
+    def test_invalid_parameters(self):
+        topo, mn = mobile_on_line()
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(mn, topo.links[:1])
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(mn, topo.links, min_dwell=5.0, max_dwell=2.0)
+
+    def test_stop(self):
+        topo, mn = mobile_on_line()
+        model = RandomWaypointMobility(mn, topo.links, min_dwell=1.0, max_dwell=2.0)
+        topo.net.on_start(model.start)
+        topo.net.run(until=10.0)
+        count = model.moves_done
+        model.stop()
+        topo.net.run(until=50.0)
+        assert model.moves_done == count
+
+
+class TestPoisson:
+    def test_rate_controls_move_count(self):
+        topo, mn = mobile_on_line()
+        fast = PoissonMobility(mn, topo.links, rate=0.5)
+        topo.net.on_start(fast.start)
+        topo.net.run(until=200.0)
+        # ~100 expected; generous tolerance
+        assert 50 <= fast.moves_done <= 160
+
+    def test_invalid_rate(self):
+        topo, mn = mobile_on_line()
+        with pytest.raises(ValueError):
+            PoissonMobility(mn, topo.links, rate=0.0)
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            topo = build_line(3, seed=seed, use_home_agents=True)
+            mn = MobileNode(
+                topo.net.sim, "MN", tracer=topo.net.tracer, rng=topo.net.rng,
+                home_link=topo.links[0],
+                home_agent_address=topo.routers[0].address_on(topo.links[0]),
+                host_id=0x64,
+            )
+            topo.net.register_node(mn)
+            model = PoissonMobility(mn, topo.links, rate=0.1)
+            topo.net.on_start(model.start)
+            topo.net.run(until=100.0)
+            return model.move_times
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)

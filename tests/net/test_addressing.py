@@ -1,0 +1,132 @@
+"""Unit + property tests for IPv6 addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import (
+    ALL_NODES,
+    ALL_PIM_ROUTERS,
+    ALL_ROUTERS,
+    Address,
+    Prefix,
+    is_multicast,
+    make_multicast_group,
+)
+
+
+class TestAddress:
+    def test_from_string(self):
+        assert str(Address("2001:db8::1")) == "2001:db8::1"
+
+    def test_from_int_roundtrip(self):
+        a = Address("2001:db8::42")
+        assert Address(a.as_int()) == a
+
+    def test_copy_constructor(self):
+        a = Address("::1")
+        assert Address(a) == a
+
+    def test_equality_across_notations(self):
+        assert Address("ff02::1") == Address("ff02:0:0:0:0:0:0:1")
+
+    def test_equality_with_string(self):
+        assert Address("ff02::1") == "ff02::1"
+
+    def test_hashable(self):
+        assert len({Address("::1"), Address("0::1")}) == 1
+
+    def test_ordering_numeric(self):
+        assert Address("2001:db8::1") < Address("2001:db8::2")
+
+    def test_multicast_detection(self):
+        assert Address("ff1e::5").is_multicast
+        assert not Address("2001:db8::5").is_multicast
+
+    def test_link_local(self):
+        assert Address("fe80::1").is_link_local
+        assert not Address("2001:db8::1").is_link_local
+
+    def test_link_scope_multicast(self):
+        assert ALL_NODES.is_link_scope_multicast
+        assert ALL_ROUTERS.is_link_scope_multicast
+        assert ALL_PIM_ROUTERS.is_link_scope_multicast
+        assert not Address("ff1e::1").is_link_scope_multicast
+        assert not Address("2001:db8::1").is_link_scope_multicast
+
+    def test_packed_roundtrip(self):
+        a = Address("2001:db8:1:2:3:4:5:6")
+        assert Address.from_packed(a.packed()) == a
+
+    def test_packed_length(self):
+        assert len(Address("::1").packed()) == 16
+
+    def test_from_packed_wrong_length(self):
+        with pytest.raises(ValueError):
+            Address.from_packed(b"\x00" * 8)
+
+    def test_unspecified(self):
+        assert Address("::").is_unspecified
+        assert not Address("::1").is_unspecified
+
+    @given(st.integers(min_value=1, max_value=2**128 - 1))
+    def test_int_roundtrip_property(self, value):
+        assert Address(value).as_int() == value
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1))
+    def test_packed_roundtrip_property(self, value):
+        a = Address(value)
+        assert Address.from_packed(a.packed()) == a
+
+
+class TestPrefix:
+    def test_contains(self):
+        p = Prefix("2001:db8:5::/64")
+        assert p.contains(Address("2001:db8:5::99"))
+        assert not p.contains(Address("2001:db8:6::99"))
+
+    def test_address_for_host(self):
+        p = Prefix("2001:db8:1::/64")
+        assert str(p.address_for_host(1)) == "2001:db8:1::1"
+        assert str(p.address_for_host(0x64)) == "2001:db8:1::64"
+
+    def test_address_for_host_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Prefix("2001:db8::/64").address_for_host(0)
+
+    def test_address_for_host_in_prefix(self):
+        p = Prefix("2001:db8:2::/64")
+        assert p.contains(p.address_for_host(12345))
+
+    def test_prefix_len(self):
+        assert Prefix("2001:db8::/48").prefix_len == 48
+
+    def test_hash_eq(self):
+        assert Prefix("2001:db8::/64") == Prefix("2001:db8::/64")
+        assert len({Prefix("2001:db8::/64"), Prefix("2001:db8::/64")}) == 1
+
+    @given(st.integers(min_value=1, max_value=2**16))
+    def test_host_addresses_distinct(self, host_id):
+        p = Prefix("2001:db8:7::/64")
+        assert p.address_for_host(host_id) != p.address_for_host(host_id + 1)
+
+
+class TestWellKnown:
+    def test_constants(self):
+        assert str(ALL_NODES) == "ff02::1"
+        assert str(ALL_ROUTERS) == "ff02::2"
+        assert str(ALL_PIM_ROUTERS) == "ff02::d"
+
+    def test_is_multicast_helper(self):
+        assert is_multicast("ff02::1")
+        assert not is_multicast("2001::1")
+
+    def test_make_multicast_group(self):
+        g1, g2 = make_multicast_group(1), make_multicast_group(2)
+        assert g1.is_multicast and g2.is_multicast and g1 != g2
+        assert not g1.is_link_scope_multicast
+
+    def test_make_multicast_group_bounds(self):
+        with pytest.raises(ValueError):
+            make_multicast_group(0)
+        with pytest.raises(ValueError):
+            make_multicast_group(2**32)

@@ -1,0 +1,133 @@
+"""Unit tests for interfaces: attachment, addresses, lifecycle."""
+
+import pytest
+
+from repro.net import Address, Host, Network
+
+
+@pytest.fixture
+def setup(net):
+    link = net.add_link("LAN", "2001:db8:1::/64")
+    host = Host(net.sim, "H", rng=net.rng)
+    return net, link, host
+
+
+class TestAttachment:
+    def test_attach_detach_cycle(self, setup):
+        net, link, host = setup
+        iface = host.new_interface()
+        assert not iface.attached
+        iface.attach(link)
+        assert iface.attached and iface in link.interfaces
+        iface.detach()
+        assert not iface.attached and iface not in link.interfaces
+
+    def test_double_attach_rejected(self, setup):
+        net, link, host = setup
+        iface = host.new_interface()
+        iface.attach(link)
+        other = net.add_link("L2", "2001:db8:2::/64")
+        with pytest.raises(ValueError):
+            iface.attach(other)
+
+    def test_detach_idempotent(self, setup):
+        net, link, host = setup
+        iface = host.new_interface()
+        iface.detach()  # never attached: no-op
+        iface.attach(link)
+        iface.detach()
+        iface.detach()
+
+    def test_reattach_after_detach(self, setup):
+        """The mobile-node pattern: one interface roams between links."""
+        net, link, host = setup
+        other = net.add_link("L2", "2001:db8:2::/64")
+        iface = host.new_interface()
+        iface.attach(link)
+        iface.detach()
+        iface.attach(other)
+        assert iface.link is other
+
+
+class TestAddresses:
+    def test_add_address_registers_in_cache(self, setup):
+        net, link, host = setup
+        iface = host.new_interface()
+        iface.attach(link)
+        addr = Address("2001:db8:1::42")
+        iface.add_address(addr)
+        assert iface.has_address(addr)
+        assert link.resolve(addr) is iface
+
+    def test_add_address_before_attach(self, setup):
+        net, link, host = setup
+        iface = host.new_interface()
+        iface.add_address(Address("2001:db8:1::42"))
+        iface.attach(link)
+        # attach registers existing addresses
+        assert link.resolve(Address("2001:db8:1::42")) is iface
+
+    def test_add_address_idempotent(self, setup):
+        net, link, host = setup
+        iface = host.new_interface()
+        iface.attach(link)
+        addr = Address("2001:db8:1::42")
+        iface.add_address(addr)
+        iface.add_address(addr)
+        assert iface.addresses.count(addr) == 1
+
+    def test_remove_address(self, setup):
+        net, link, host = setup
+        iface = host.new_interface()
+        iface.attach(link)
+        addr = Address("2001:db8:1::42")
+        iface.add_address(addr)
+        iface.remove_address(addr)
+        assert not iface.has_address(addr)
+        assert link.resolve(addr) is None
+
+    def test_clear_addresses(self, setup):
+        net, link, host = setup
+        iface = host.new_interface()
+        iface.attach(link)
+        for k in (1, 2, 3):
+            iface.add_address(Address(f"2001:db8:1::{k}"))
+        iface.clear_addresses()
+        assert iface.addresses == []
+
+    def test_unique_names(self, setup):
+        net, link, host = setup
+        a, b = host.new_interface(), host.new_interface()
+        assert a.name != b.name
+
+    def test_custom_name(self, setup):
+        net, link, host = setup
+        iface = host.new_interface(name="eth0")
+        assert iface.name == "eth0"
+
+
+class TestNodeAddressHelpers:
+    def test_primary_address_skips_link_local(self, setup):
+        net, link, host = setup
+        iface = host.new_interface()
+        iface.attach(link)
+        iface.add_address(Address("fe80::1"))
+        iface.add_address(Address("2001:db8:1::9"))
+        assert host.primary_address() == Address("2001:db8:1::9")
+
+    def test_primary_address_raises_without_global(self, setup):
+        net, link, host = setup
+        with pytest.raises(ValueError):
+            host.primary_address()
+
+    def test_address_on(self, setup):
+        net, link, host = setup
+        host.attach_to(link, Address("2001:db8:1::9"))
+        assert host.address_on(link) == Address("2001:db8:1::9")
+        other = net.add_link("L2", "2001:db8:2::/64")
+        assert host.address_on(other) is None
+
+    def test_iface_on(self, setup):
+        net, link, host = setup
+        iface = host.attach_to(link)
+        assert host.iface_on(link) is iface

@@ -1,0 +1,57 @@
+"""Regression tests: unresolvable unicast frames are dropped, not flooded.
+
+A home agent tunneling to a stale care-of address (the mobile just left
+that link) must produce a clean neighbor-discovery failure.  An earlier
+version flooded unresolvable unicast frames to every interface on the
+link; with several routers attached (Link 3 of the paper topology) the
+frames ping-ponged and multiplied exponentially.
+"""
+
+from repro.net import Address, ApplicationData, Ipv6Packet
+
+from topo_helpers import build_line
+
+
+class TestNdFailure:
+    def test_unresolvable_unicast_dropped(self):
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        topo.net.run(until=1.0)
+        ghost = topo.links[2].prefix.address_for_host(200)  # nobody there
+        sender.route_and_send(
+            Ipv6Packet(sender.primary_address(), ghost, ApplicationData(seqno=0))
+        )
+        topo.net.run(until=2.0)
+        assert topo.net.tracer.count("drop", reason="nd-failure") == 1
+
+    def test_no_packet_storm_on_multirouter_link(self):
+        """Unicast to a dead address on a link with several routers must
+        not multiply (the old behaviour exploded combinatorially)."""
+        from repro.core import build_paper_network
+
+        paper = build_paper_network(seed=1)
+        paper.net.start()
+        paper.net.run(until=1.0)
+        ghost = paper.net.link("L3").prefix.address_for_host(250)
+        a = paper.routers["A"]
+        a.route_and_send(
+            Ipv6Packet(a.primary_address(), ghost, ApplicationData(seqno=0))
+        )
+        before = paper.net.sim.events_dispatched
+        paper.net.run(until=5.0, max_events=50_000)
+        dispatched = paper.net.sim.events_dispatched - before
+        # a handful of hellos/queries at most — no storm
+        assert dispatched < 1_000
+        assert paper.net.tracer.count("drop", reason="nd-failure") == 1
+
+    def test_multicast_still_floods(self):
+        topo = build_line(1)
+        sender = topo.host_on(0, 100, "S")
+        listener = topo.host_on(0, 101, "L")
+        listener.joined_groups.add(topo.group)
+        got = []
+        listener.on_app_data(lambda p, m: got.append(m.seqno))
+        topo.net.run(until=1.0)
+        sender.send_multicast(topo.group, ApplicationData(seqno=1))
+        topo.net.run(until=2.0)
+        assert got == [1]

@@ -1,0 +1,44 @@
+"""Unit tests for message base classes."""
+
+import pytest
+
+from repro.net import ApplicationData, ControlPayload, Message
+
+
+class TestApplicationData:
+    def test_size(self):
+        assert ApplicationData(seqno=0, payload_bytes=512).size_bytes == 512
+
+    def test_protocol_tag(self):
+        assert ApplicationData(seqno=0).protocol == "app"
+
+    def test_describe(self):
+        d = ApplicationData(seqno=9, flow="f1")
+        assert "f1" in d.describe() and "9" in d.describe()
+
+    def test_frozen(self):
+        d = ApplicationData(seqno=0)
+        with pytest.raises(Exception):
+            d.seqno = 1  # type: ignore
+
+    def test_sent_at_default(self):
+        assert ApplicationData(seqno=0).sent_at == 0.0
+
+
+class TestControlPayload:
+    def test_defaults(self):
+        c = ControlPayload()
+        assert c.protocol == "mipv6"
+        assert c.size_bytes == 0
+
+    def test_custom(self):
+        c = ControlPayload("app", 12, "X")
+        assert c.protocol == "app"
+        assert c.size_bytes == 12
+        assert c.describe() == "X"
+
+
+class TestMessageBase:
+    def test_size_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Message().size_bytes

@@ -1,0 +1,99 @@
+"""Unit tests for the Network container."""
+
+import pytest
+
+from repro.net import Host, Network
+
+from topo_helpers import build_line
+
+
+class TestConstruction:
+    def test_duplicate_link_rejected(self, net):
+        net.add_link("L1", "2001:db8:1::/64")
+        with pytest.raises(ValueError):
+            net.add_link("L1", "2001:db8:2::/64")
+
+    def test_duplicate_node_rejected(self, net):
+        h = Host(net.sim, "H", rng=net.rng)
+        net.register_node(h)
+        with pytest.raises(ValueError):
+            net.register_node(Host(net.sim, "H", rng=net.rng))
+
+    def test_lookup(self, net):
+        link = net.add_link("L1", "2001:db8:1::/64")
+        h = net.register_node(Host(net.sim, "H", rng=net.rng))
+        assert net.link("L1") is link
+        assert net.node("H") is h
+
+    def test_routers_vs_hosts(self):
+        topo = build_line(2)
+        topo.host_on(0, 100, "H")
+        assert {r.name for r in topo.net.routers()} == {"R0", "R1"}
+        assert {h.name for h in topo.net.hosts()} == {"H"}
+
+
+class TestLifecycle:
+    def test_start_idempotent(self):
+        topo = build_line(2)
+        calls = []
+        topo.net.on_start(lambda: calls.append(1))
+        topo.net.start()
+        topo.net.start()
+        assert calls == [1]
+
+    def test_on_start_after_start_runs_immediately(self):
+        topo = build_line(2)
+        topo.net.start()
+        calls = []
+        topo.net.on_start(lambda: calls.append(1))
+        assert calls == [1]
+
+    def test_run_starts_implicitly(self):
+        topo = build_line(2)
+        topo.net.run(until=1.0)
+        assert topo.net.now == 1.0
+        # hellos went out at t=0
+        assert topo.net.stats.total_bytes("pim") > 0
+
+    def test_run_for(self):
+        topo = build_line(1)
+        topo.net.run(until=5.0)
+        topo.net.run_for(3.0)
+        assert topo.net.now == 8.0
+
+
+class TestShortestPaths:
+    def test_same_link_is_one(self):
+        topo = build_line(2)
+        assert topo.net.shortest_path_links("L0", "L0") == 1
+
+    def test_adjacent(self):
+        topo = build_line(2)
+        assert topo.net.shortest_path_links("L0", "L1") == 2
+
+    def test_line_distance(self):
+        topo = build_line(3)
+        assert topo.net.shortest_path_links("L0", "L3") == 4
+
+    def test_symmetric(self):
+        topo = build_line(3)
+        assert topo.net.shortest_path_links("L0", "L2") == topo.net.shortest_path_links(
+            "L2", "L0"
+        )
+
+    def test_disconnected_raises(self, net):
+        net.add_link("LA", "2001:db8:a::/64")
+        net.add_link("LB", "2001:db8:b::/64")
+        with pytest.raises(ValueError):
+            net.shortest_path_links("LA", "LB")
+
+    def test_paper_topology_distances(self):
+        from repro.core import build_paper_network
+
+        paper = build_paper_network(seed=0)
+        net = paper.net
+        assert net.shortest_path_links("L1", "L2") == 2
+        assert net.shortest_path_links("L1", "L3") == 3
+        assert net.shortest_path_links("L1", "L4") == 4
+        assert net.shortest_path_links("L1", "L6") == 4
+        assert net.shortest_path_links("L4", "L6") == 3

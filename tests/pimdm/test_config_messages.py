@@ -1,0 +1,68 @@
+"""Unit tests for PIM-DM configuration and message types."""
+
+import pytest
+
+from repro.net import Address
+from repro.pimdm import (
+    PimAssert,
+    PimDmConfig,
+    PimGraft,
+    PimGraftAck,
+    PimHello,
+    PimJoin,
+    PimPrune,
+)
+
+S = Address("2001:db8:1::64")
+G = Address("ff1e::1")
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = PimDmConfig()
+        assert cfg.data_timeout == 210.0  # paper §3.1
+        assert cfg.prune_delay == 3.0  # T_PruneDel, paper §4.3.1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            PimDmConfig(data_timeout=0.0)
+        with pytest.raises(ValueError):
+            PimDmConfig(prune_delay=-1.0)
+        with pytest.raises(ValueError):
+            PimDmConfig(hello_period=30.0, hello_holdtime=30.0)
+        with pytest.raises(ValueError):
+            PimDmConfig(graft_retry_interval=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PimDmConfig().data_timeout = 1.0  # type: ignore
+
+
+class TestMessages:
+    def test_protocol_tags(self):
+        for m in (
+            PimHello(),
+            PimJoin(S, G),
+            PimPrune(S, G),
+            PimGraft(S, G),
+            PimGraftAck(S, G),
+            PimAssert(S, G),
+        ):
+            assert m.protocol == "pim"
+
+    def test_sizes_positive(self):
+        assert PimHello().size_bytes == 30
+        assert PimJoin(S, G).size_bytes == 62
+        assert PimPrune(S, G).size_bytes == 62
+        assert PimGraft(S, G).size_bytes == 62
+        assert PimAssert(S, G).size_bytes == 48
+
+    def test_describe_mentions_sg(self):
+        for m in (PimJoin(S, G), PimPrune(S, G), PimGraft(S, G), PimAssert(S, G)):
+            assert str(S) in m.describe() and str(G) in m.describe()
+
+    def test_prune_default_holdtime(self):
+        assert PimPrune(S, G).holdtime == 210.0
+
+    def test_assert_metric_field(self):
+        assert PimAssert(S, G, metric=3).metric == 3

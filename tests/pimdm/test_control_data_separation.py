@@ -1,0 +1,96 @@
+"""Invariants separating control traffic from multicast data.
+
+MLD Reports are sent *to the group address* with hop limit 1; PIM
+messages go to ff02::d.  None of that may ever be treated as multicast
+*data*: no (S,G) state, no forwarding, no leaking off-link.
+"""
+
+import pytest
+
+from repro.mld import MldHost, MldReport
+from repro.net import ALL_PIM_ROUTERS, Address, ApplicationData, Ipv6Packet
+
+from topo_helpers import build_line
+
+GROUP = Address("ff1e::1")
+
+
+class TestControlPlaneSeparation:
+    def test_mld_report_creates_no_sg_state(self):
+        """A Report is addressed to the group; a naive router would build
+        an (host, group) forwarding entry from it."""
+        topo = build_line(2)
+        host = topo.host_on(0, 100, "H")
+        mld = MldHost(host)
+        topo.net.run(until=1.0)
+        mld.join(GROUP)  # unsolicited Reports to the group address
+        topo.net.run(until=5.0)
+        r0 = topo.routers[0]
+        assert r0.pim.get_entry(host.primary_address(), GROUP) is None
+        assert len(r0.pim.entries) == 0
+
+    def test_mld_report_not_forwarded_off_link(self):
+        topo = build_line(2)
+        host = topo.host_on(0, 100, "H")
+        mld = MldHost(host)
+        topo.net.run(until=1.0)
+        mld.join(GROUP)
+        topo.net.run(until=5.0)
+        # reports stay on L0: the middle and far links carry no MLD bytes
+        # beyond the routers' own queries
+        assert topo.net.stats.link_bytes("L1", "mcast_data") == 0
+        assert topo.net.stats.link_bytes("L2", "mcast_data") == 0
+
+    def test_pim_messages_create_no_sg_state(self):
+        topo = build_line(2)
+        topo.net.run(until=5.0)  # hellos flowed
+        for router in topo.routers:
+            assert len(router.pim.entries) == 0
+
+    def test_pim_hello_not_forwarded(self):
+        """ff02::d is link-scope: hellos from R0 on L1 must never appear
+        on L0 or L2 via forwarding."""
+        topo = build_line(2)
+        topo.net.run(until=100.0)
+        # each link carries exactly the hellos of its attached routers:
+        # L0 has only R0 (1 router * ceil(100/30)+1 hellos * 70B)
+        per_hello = 70  # 40 header + 30 body
+        l0 = topo.net.stats.link_bytes("L0", "pim")
+        l1 = topo.net.stats.link_bytes("L1", "pim")
+        assert l0 == 4 * per_hello  # t=0,30,60,90 from R0 only
+        assert l1 == 8 * per_hello  # both routers
+
+    def test_link_scope_data_not_routed(self):
+        """Application data to a link-scope group stays on-link."""
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        topo.net.run(until=1.0)
+        sender.send_multicast(Address("ff02::42"), ApplicationData(seqno=0))
+        topo.net.run(until=2.0)
+        assert topo.net.stats.link_bytes("L0", "mcast_data") > 0
+        assert topo.net.stats.link_bytes("L1", "mcast_data") == 0
+        assert len(topo.routers[0].pim.entries) == 0
+
+    def test_hop_limit_one_data_delivered_locally_only(self):
+        """Group-scope data with hop limit 1 creates state (routers see
+        it) but cannot be forwarded further."""
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        member = topo.host_on(2, 101, "M")
+        MldHost(member).join(GROUP)
+        topo.net.run(until=2.0)
+        sender.send_multicast(GROUP, ApplicationData(seqno=0), hop_limit=1)
+        topo.net.run(until=4.0)
+        assert topo.net.stats.link_bytes("L1", "mcast_data") == 0
+
+    def test_tunneled_control_not_treated_as_data(self):
+        """An encapsulated PIM/MLD message (pathological) must classify
+        as control, not data, in accounting."""
+        from repro.net.stats import classify_packet
+
+        inner = Ipv6Packet(
+            Address("2001:db8:1::1"), ALL_PIM_ROUTERS,
+            MldReport(GROUP), hop_limit=1,
+        )
+        outer = inner.encapsulate(Address("2001:db8:1::1"), Address("2001:db8:2::1"))
+        assert classify_packet(outer) == "mld"

@@ -1,0 +1,264 @@
+"""Unit/behavioural tests for the PIM-DM engine on small topologies."""
+
+import pytest
+
+from repro.mld import MldConfig, MldHost
+from repro.net import Address, ApplicationData, Host, Network
+from repro.pimdm import MulticastRouter, PimDmConfig
+
+from topo_helpers import build_line
+
+GROUP = Address("ff1e::1")
+
+
+def start_and_settle(topo, until=1.0):
+    topo.net.run(until=until)
+
+
+def send_data(sender, group=GROUP, seqno=0):
+    sender.send_multicast(group, ApplicationData(seqno=seqno))
+
+
+class TestHello:
+    def test_neighbors_discovered(self):
+        topo = build_line(2)
+        start_and_settle(topo)
+        r0, r1 = topo.routers
+        shared = topo.links[1]
+        assert r0.pim.has_pim_neighbors(r0.iface_on(shared))
+        assert r1.pim.has_pim_neighbors(r1.iface_on(shared))
+
+    def test_no_neighbors_on_leaf_links(self):
+        topo = build_line(2)
+        start_and_settle(topo)
+        r0 = topo.routers[0]
+        assert not r0.pim.has_pim_neighbors(r0.iface_on(topo.links[0]))
+
+    def test_neighbor_expires_without_hellos(self):
+        cfg = PimDmConfig(hello_period=5.0, hello_holdtime=12.0)
+        topo = build_line(2, pim_config=cfg)
+        start_and_settle(topo)
+        r0, r1 = topo.routers
+        shared = topo.links[1]
+        # silence R1 by detaching it
+        r1.iface_on(shared).detach()
+        topo.net.run(until=20.0)
+        assert not r0.pim.has_pim_neighbors(r0.iface_on(shared))
+        assert topo.net.tracer.count("pim", event="neighbor-expired") >= 1
+
+
+class TestEntryCreation:
+    def test_first_packet_creates_entry(self):
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        start_and_settle(topo)
+        send_data(sender)
+        topo.net.run(until=2.0)
+        for r in topo.routers:
+            assert r.pim.get_entry(sender.primary_address(), GROUP) is not None
+
+    def test_upstream_iface_is_rpf(self):
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        start_and_settle(topo)
+        send_data(sender)
+        topo.net.run(until=2.0)
+        r1 = topo.routers[1]
+        entry = r1.pim.get_entry(sender.primary_address(), GROUP)
+        assert entry.upstream_iface.link is topo.links[1]
+
+    def test_first_hop_router_has_no_upstream_neighbor(self):
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        start_and_settle(topo)
+        send_data(sender)
+        topo.net.run(until=2.0)
+        entry = topo.routers[0].pim.get_entry(sender.primary_address(), GROUP)
+        assert entry.upstream_neighbor is None
+
+    def test_entry_expires_after_data_timeout(self):
+        cfg = PimDmConfig(data_timeout=30.0)
+        topo = build_line(2, pim_config=cfg)
+        sender = topo.host_on(0, 100, "S")
+        start_and_settle(topo)
+        send_data(sender)
+        topo.net.run(until=2.0)
+        assert topo.routers[0].pim.get_entry(sender.primary_address(), GROUP)
+        topo.net.run(until=40.0)
+        assert topo.routers[0].pim.get_entry(sender.primary_address(), GROUP) is None
+        assert topo.net.tracer.count("pim.state", event="entry-expired") >= 1
+
+    def test_continued_data_keeps_entry_alive(self):
+        cfg = PimDmConfig(data_timeout=10.0)
+        topo = build_line(2, pim_config=cfg)
+        sender = topo.host_on(0, 100, "S")
+        receiver = topo.host_on(2, 101, "R")
+        mld = MldHost(receiver)
+        start_and_settle(topo)
+        mld.join(GROUP)
+        for k in range(10):
+            topo.net.sim.schedule_at(2.0 + 5.0 * k, send_data, sender, GROUP, k)
+        topo.net.run(until=55.0)
+        assert topo.routers[0].pim.get_entry(sender.primary_address(), GROUP)
+
+    def test_unroutable_source_dropped(self):
+        topo = build_line(2)
+        start_and_settle(topo)
+        r0 = topo.routers[0]
+        from repro.net import Ipv6Packet
+
+        bogus = Ipv6Packet(
+            Address("2001:db8:ff::1"), GROUP, ApplicationData(seqno=0)
+        )
+        r0.pim.on_multicast_data(bogus, r0.interfaces[0])
+        assert topo.net.tracer.count("pim", event="no-rpf") == 1
+
+
+class TestFloodAndPrune:
+    def test_data_reaches_member_across_routers(self):
+        topo = build_line(3)
+        sender = topo.host_on(0, 100, "S")
+        receiver = topo.host_on(3, 101, "R")
+        mld = MldHost(receiver)
+        got = []
+        receiver.on_app_data(lambda p, m: got.append(m.seqno))
+        start_and_settle(topo)
+        mld.join(GROUP)
+        topo.net.run(until=2.0)
+        send_data(sender, seqno=7)
+        topo.net.run(until=3.0)
+        assert got == [7]
+
+    def test_leaf_link_without_members_not_forwarded(self):
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        start_and_settle(topo)
+        send_data(sender)
+        topo.net.run(until=2.0)
+        # no members anywhere: last link must carry no data
+        assert topo.net.stats.link_bytes(topo.links[2].name, "mcast_data") == 0
+
+    def test_last_router_prunes_when_no_interest(self):
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        start_and_settle(topo)
+        send_data(sender)
+        topo.net.run(until=10.0)
+        # R1 has no members and no downstream routers -> prunes toward R0
+        assert topo.net.tracer.count("pim", event="prune-sent", node="R1") == 1
+        ev = topo.net.tracer.first("pim", event="prune-pending", node="R0")
+        assert ev is not None
+
+    def test_pruned_interface_stops_forwarding(self):
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        start_and_settle(topo)
+        # steady flow so we can observe the stop
+        for k in range(100):
+            topo.net.sim.schedule_at(2.0 + 0.1 * k, send_data, sender, GROUP, k)
+        topo.net.run(until=13.0)
+        mid_bytes = topo.net.stats.link_bytes(topo.links[1].name, "mcast_data")
+        topo.net.run(until=14.0)
+        # after prune (sent ~t=2, effective ~t=5) the middle link is quiet
+        assert topo.net.stats.link_bytes(topo.links[1].name, "mcast_data") == mid_bytes
+
+    def test_prune_not_applied_with_local_members(self):
+        """A Prune on a link with MLD members must be ignored (§3.1)."""
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        member = topo.host_on(1, 101, "M")  # member on the middle link
+        mld = MldHost(member)
+        start_and_settle(topo)
+        mld.join(GROUP)
+        topo.net.run(until=2.0)
+        for k in range(100):
+            topo.net.sim.schedule_at(2.0 + 0.1 * k, send_data, sender, GROUP, k)
+        topo.net.run(until=13.0)
+        # R1 pruned (no interest behind it), but R0 keeps serving M
+        got_after_prune = topo.net.stats.link_bytes(topo.links[1].name, "mcast_data")
+        assert got_after_prune > 90 * 1040  # nearly all packets delivered
+
+    def test_prune_hold_expiry_resumes_forwarding(self):
+        cfg = PimDmConfig(prune_hold_time=20.0)
+        topo = build_line(2, pim_config=cfg)
+        sender = topo.host_on(0, 100, "S")
+        start_and_settle(topo)
+        for k in range(400):
+            topo.net.sim.schedule_at(2.0 + 0.1 * k, send_data, sender, GROUP, k)
+        topo.net.run(until=42.0)
+        assert topo.net.tracer.count("pim.state", event="oif-prune-expired") >= 1
+
+
+class TestJoinOverride:
+    def test_join_override_cancels_prune(self):
+        """Two downstream routers on a LAN: one prunes, the other still
+        needs traffic and overrides with a Join within T_PruneDel."""
+        net = Network(seed=3)
+        l_src = net.add_link("Lsrc", "2001:db8:a::/64")
+        lan = net.add_link("LAN", "2001:db8:b::/64")
+        l_d1 = net.add_link("Ld1", "2001:db8:c::/64")
+        l_d2 = net.add_link("Ld2", "2001:db8:d::/64")
+        top = MulticastRouter(net.sim, "TOP", tracer=net.tracer, rng=net.rng)
+        top.attach_to(l_src, l_src.prefix.address_for_host(1))
+        top.attach_to(lan, lan.prefix.address_for_host(1))
+        d1 = MulticastRouter(net.sim, "D1", tracer=net.tracer, rng=net.rng)
+        d1.attach_to(lan, lan.prefix.address_for_host(2))
+        d1.attach_to(l_d1, l_d1.prefix.address_for_host(2))
+        d2 = MulticastRouter(net.sim, "D2", tracer=net.tracer, rng=net.rng)
+        d2.attach_to(lan, lan.prefix.address_for_host(3))
+        d2.attach_to(l_d2, l_d2.prefix.address_for_host(3))
+        for r in (top, d1, d2):
+            net.register_node(r)
+            net.on_start(r.start)
+        sender = Host(net.sim, "S", tracer=net.tracer, rng=net.rng)
+        sender.attach_to(l_src, l_src.prefix.address_for_host(100))
+        member = Host(net.sim, "M", tracer=net.tracer, rng=net.rng)
+        member.attach_to(l_d2, l_d2.prefix.address_for_host(100))
+        net.register_node(sender)
+        net.register_node(member)
+        mld = MldHost(member)
+        net.run(until=1.0)
+        mld.join(GROUP)
+        net.run(until=2.0)
+        for k in range(200):
+            net.sim.schedule_at(2.0 + 0.1 * k, send_data, sender, GROUP, k)
+        net.run(until=25.0)
+        # D1 pruned; D2 overrode with a Join; TOP kept forwarding
+        assert net.tracer.count("pim", event="prune-sent", node="D1") >= 1
+        assert net.tracer.count("pim", event="join-sent", node="D2") >= 1
+        assert net.tracer.count("pim", event="join-override-received", node="TOP") >= 1
+        # member kept receiving throughout
+        assert net.stats.link_bytes("Ld2", "mcast_data") > 150 * 1040
+
+
+class TestGraft:
+    def test_membership_on_pruned_branch_grafts(self):
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        late = topo.host_on(2, 101, "LATE")
+        mld = MldHost(late)
+        got = []
+        late.on_app_data(lambda p, m: got.append(m.seqno))
+        start_and_settle(topo)
+        for k in range(300):
+            topo.net.sim.schedule_at(2.0 + 0.1 * k, send_data, sender, GROUP, k)
+        topo.net.run(until=20.0)  # R1 pruned by now
+        mld.join(GROUP)
+        topo.net.run(until=32.0)
+        assert topo.net.tracer.count("pim", event="graft-sent", node="R1") >= 1
+        assert topo.net.tracer.count("pim", event="graft-acked", node="R1") >= 1
+        assert got, "late joiner never received data after graft"
+
+    def test_graft_ack_stops_retransmission(self):
+        topo = build_line(2, pim_config=PimDmConfig(graft_retry_interval=1.0))
+        sender = topo.host_on(0, 100, "S")
+        late = topo.host_on(2, 101, "LATE")
+        mld = MldHost(late)
+        start_and_settle(topo)
+        for k in range(300):
+            topo.net.sim.schedule_at(2.0 + 0.1 * k, send_data, sender, GROUP, k)
+        topo.net.run(until=20.0)
+        mld.join(GROUP)
+        topo.net.run(until=30.0)
+        # exactly one graft (acked immediately, no retries)
+        assert topo.net.tracer.count("pim", event="graft-sent", node="R1") == 1

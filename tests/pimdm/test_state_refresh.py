@@ -1,0 +1,134 @@
+"""Tests for the PIM-DM State Refresh extension (RFC 3973 mechanism).
+
+Plain dense mode re-floods pruned branches whenever prune state expires
+(the prune-hold timer); with State Refresh enabled, the first-hop
+router's periodic refresh keeps prune state alive and the re-flood
+never happens.
+"""
+
+import pytest
+
+from repro.net import ApplicationData
+from repro.pimdm import PimDmConfig
+
+from topo_helpers import build_line
+
+SHORT_HOLD = PimDmConfig(prune_hold_time=15.0)
+SHORT_HOLD_SR = PimDmConfig(
+    prune_hold_time=15.0, state_refresh_enabled=True, state_refresh_interval=5.0
+)
+
+
+def run_line(pim_config, until=120.0, seed=7):
+    """Sender on L0, no members anywhere: R1 prunes the middle link."""
+    topo = build_line(2, seed=seed, pim_config=pim_config)
+    sender = topo.host_on(0, 100, "S")
+    topo.net.run(until=1.0)
+    for k in range(int((until - 2.0) / 0.2)):
+        topo.net.sim.schedule_at(
+            2.0 + 0.2 * k, sender.send_multicast, topo.group,
+            ApplicationData(seqno=k),
+        )
+    topo.net.run(until=until)
+    return topo
+
+
+class TestWithoutStateRefresh:
+    def test_prune_state_expires_and_refloods(self):
+        topo = run_line(SHORT_HOLD)
+        # the prune-hold timer expired repeatedly -> periodic re-flood
+        # (re-prunes are paced by the 60 s prune retry interval)
+        assert topo.net.tracer.count("pim.state", event="oif-prune-expired") >= 2
+        mid = topo.net.stats.link_bytes(topo.links[1].name, "mcast_data")
+        assert mid > 20 * 1040  # several re-flood bursts reached the link
+
+
+class TestWithStateRefresh:
+    def test_no_reflood_while_refresh_flows(self):
+        topo = run_line(SHORT_HOLD_SR)
+        assert topo.net.tracer.count("pim.state", event="oif-prune-expired") == 0
+
+    def test_refresh_messages_originated_periodically(self):
+        topo = run_line(SHORT_HOLD_SR, until=60.0)
+        count = topo.net.tracer.count("pim", node="R0", event="state-refresh-sent")
+        # every ~5 s from entry creation (~t=2) to t=60
+        assert 8 <= count <= 13
+
+    def test_data_waste_far_below_plain_dm(self):
+        plain = run_line(SHORT_HOLD)
+        sr = run_line(SHORT_HOLD_SR)
+        link = plain.links[1].name
+        plain_bytes = plain.net.stats.link_bytes(link, "mcast_data")
+        sr_bytes = sr.net.stats.link_bytes(link, "mcast_data")
+        assert sr_bytes < plain_bytes / 3
+
+    def test_refresh_keeps_pruned_downstream_state_alive(self):
+        """Once R1 pruned itself off the tree, data no longer refreshes
+        its (S,G) entry; the periodic State Refresh does instead."""
+        cfg = PimDmConfig(
+            data_timeout=20.0, state_refresh_enabled=True,
+            state_refresh_interval=5.0, prune_hold_time=210.0,
+        )
+        topo = build_line(2, pim_config=cfg)
+        sender = topo.host_on(0, 100, "S")
+        topo.net.run(until=1.0)
+        # keep the source active (every 10 s < data timeout) so the
+        # first-hop entry survives and refreshes keep flowing
+        for k in range(10):
+            topo.net.sim.schedule_at(
+                2.0 + 10.0 * k, sender.send_multicast, topo.group,
+                ApplicationData(seqno=k),
+            )
+        topo.net.run(until=95.0)
+        src = sender.primary_address()
+        # R1 pruned at the first datagram; no data reached it since
+        # ~t=5, yet its entry is alive thanks to the refreshes
+        assert topo.routers[1].pim.get_entry(src, topo.group) is not None
+
+    def test_silent_source_state_still_expires_with_refresh(self):
+        """A totally silent source must still age out everywhere: the
+        origination stops with the first-hop entry (RFC 3973 couples
+        refresh origination to source liveness)."""
+        cfg = PimDmConfig(
+            data_timeout=20.0, state_refresh_enabled=True,
+            state_refresh_interval=5.0,
+        )
+        topo = build_line(2, pim_config=cfg)
+        sender = topo.host_on(0, 100, "S")
+        topo.net.run(until=1.0)
+        sender.send_multicast(topo.group, ApplicationData(seqno=0))
+        topo.net.run(until=120.0)
+        src = sender.primary_address()
+        assert topo.routers[0].pim.get_entry(src, topo.group) is None
+        assert topo.routers[1].pim.get_entry(src, topo.group) is None
+
+    def test_refresh_propagates_across_hops(self):
+        cfg = PimDmConfig(state_refresh_enabled=True, state_refresh_interval=5.0)
+        topo = build_line(3, pim_config=cfg)
+        sender = topo.host_on(0, 100, "S")
+        topo.net.run(until=1.0)
+        sender.send_multicast(topo.group, ApplicationData(seqno=0))
+        topo.net.run(until=30.0)
+        # the refresh originated at R0 reaches R2 via R1
+        assert topo.net.tracer.count("pim", node="R2", event="state-refresh-sent") >= 1
+
+    def test_graft_still_works_under_refresh(self):
+        """A late member on a refresh-pinned pruned branch still grafts."""
+        from repro.mld import MldHost
+
+        topo = build_line(2, pim_config=SHORT_HOLD_SR)
+        sender = topo.host_on(0, 100, "S")
+        late = topo.host_on(2, 101, "LATE")
+        mld = MldHost(late)
+        got = []
+        late.on_app_data(lambda p, m: got.append(m.seqno))
+        topo.net.run(until=1.0)
+        for k in range(300):
+            topo.net.sim.schedule_at(
+                2.0 + 0.2 * k, sender.send_multicast, topo.group,
+                ApplicationData(seqno=k),
+            )
+        topo.net.run(until=30.0)  # pruned and pinned by refresh
+        mld.join(topo.group)
+        topo.net.run(until=45.0)
+        assert got, "graft failed under state refresh"

@@ -1,0 +1,155 @@
+"""Unit tests for restartable and periodic timers."""
+
+import pytest
+
+from repro.sim import PeriodicTimer, Simulator, Timer
+
+
+class TestTimer:
+    def test_fires_after_duration(self, sim):
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now))
+        t.start(10.0)
+        sim.run()
+        assert fired == [10.0]
+
+    def test_restart_extends_deadline(self, sim):
+        """The MLD membership-timer pattern: each Report restarts T_MLI."""
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now))
+        t.start(10.0)
+        sim.run(until=6.0)
+        t.restart()
+        sim.run()
+        assert fired == [16.0]
+
+    def test_restart_with_new_duration(self, sim):
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now))
+        t.start(10.0)
+        sim.run(until=1.0)
+        t.restart(2.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_restart_never_started_raises(self, sim):
+        t = Timer(sim, lambda: None)
+        with pytest.raises(ValueError):
+            t.restart()
+
+    def test_stop_prevents_firing(self, sim):
+        fired = []
+        t = Timer(sim, lambda: fired.append(1))
+        t.start(5.0)
+        sim.run(until=2.0)
+        t.stop()
+        sim.run()
+        assert fired == []
+
+    def test_stop_idle_is_noop(self, sim):
+        Timer(sim, lambda: None).stop()
+
+    def test_running_property(self, sim):
+        t = Timer(sim, lambda: None)
+        assert not t.running
+        t.start(5.0)
+        assert t.running
+        sim.run()
+        assert not t.running
+
+    def test_remaining(self, sim):
+        t = Timer(sim, lambda: None)
+        t.start(10.0)
+        sim.run(until=4.0)
+        assert t.remaining == pytest.approx(6.0)
+
+    def test_remaining_none_when_idle(self, sim):
+        assert Timer(sim, lambda: None).remaining is None
+
+    def test_expires_at(self, sim):
+        t = Timer(sim, lambda: None)
+        sim.run(until=3.0)
+        t.start(7.0)
+        assert t.expires_at == pytest.approx(10.0)
+
+    def test_start_while_running_restarts(self, sim):
+        fired = []
+        t = Timer(sim, lambda: fired.append(sim.now))
+        t.start(10.0)
+        sim.run(until=5.0)
+        t.start(10.0)
+        sim.run()
+        assert fired == [15.0]
+
+    def test_restart_inside_callback(self, sim):
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                t.restart(5.0)
+
+        t = Timer(sim, cb)
+        t.start(5.0)
+        sim.run()
+        assert fired == [5.0, 10.0, 15.0]
+
+
+class TestPeriodicTimer:
+    def test_ticks_at_period(self, sim):
+        ticks = []
+        p = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=5.0)
+        p.start()
+        sim.run(until=16.0)
+        assert ticks == [5.0, 10.0, 15.0]
+
+    def test_fire_immediately(self, sim):
+        """The MLD querier pattern: first Query on assuming the role."""
+        ticks = []
+        p = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=5.0)
+        p.start(fire_immediately=True)
+        sim.run(until=11.0)
+        assert ticks == [0.0, 5.0, 10.0]
+
+    def test_stop(self, sim):
+        ticks = []
+        p = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=5.0)
+        p.start()
+        sim.run(until=7.0)
+        p.stop()
+        sim.run(until=30.0)
+        assert ticks == [5.0]
+
+    def test_set_period_reschedules(self, sim):
+        """Section 4.4: a querier switching from startup to steady rate."""
+        ticks = []
+        p = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=10.0)
+        p.start()
+        sim.run(until=10.0)
+        p.set_period(2.0)
+        sim.run(until=15.0)
+        assert ticks == [10.0, 12.0, 14.0]
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, lambda: None, period=0.0)
+        p = PeriodicTimer(sim, lambda: None, period=1.0)
+        with pytest.raises(ValueError):
+            p.set_period(-1.0)
+
+    def test_restart_resets_phase(self, sim):
+        ticks = []
+        p = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=10.0)
+        p.start()
+        sim.run(until=4.0)
+        p.start()  # re-arm at t=4
+        sim.run(until=25.0)
+        assert ticks == [14.0, 24.0]
+
+    def test_running_property(self, sim):
+        p = PeriodicTimer(sim, lambda: None, period=1.0)
+        assert not p.running
+        p.start()
+        assert p.running
+        p.stop()
+        assert not p.running

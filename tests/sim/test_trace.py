@@ -1,0 +1,101 @@
+"""Unit tests for the structured tracer."""
+
+from repro.sim import Simulator, Tracer
+
+
+def make(sim=None, **kw):
+    sim = sim or Simulator()
+    return sim, Tracer(sim, **kw)
+
+
+class TestRecording:
+    def test_records_time_and_fields(self):
+        sim, tr = make()
+        sim.schedule(2.5, tr.record, "mld", "R3", event="join")
+        sim.run()
+        (ev,) = tr.events
+        assert ev.time == 2.5
+        assert ev.category == "mld"
+        assert ev.node == "R3"
+        assert ev.detail == {"event": "join"}
+
+    def test_disabled_category_dropped(self):
+        _, tr = make(disabled_categories=["link"])
+        tr.record("link", "L1", x=1)
+        tr.record("mld", "R1", x=1)
+        assert len(tr.events) == 1
+
+    def test_enabled_whitelist(self):
+        _, tr = make(enabled_categories=["pim"])
+        tr.record("pim", "A")
+        tr.record("mld", "A")
+        assert [e.category for e in tr.events] == ["pim"]
+
+    def test_disable_at_runtime(self):
+        _, tr = make()
+        tr.record("x", "n")
+        tr.disable("x")
+        tr.record("x", "n")
+        assert len(tr.events) == 1
+
+    def test_listener_called_live(self):
+        _, tr = make()
+        seen = []
+        tr.add_listener(seen.append)
+        tr.record("pim", "A", event="prune-sent")
+        assert len(seen) == 1 and seen[0].detail["event"] == "prune-sent"
+
+
+class TestQueries:
+    def _populate(self):
+        sim, tr = make()
+        rows = [
+            (1.0, "mld", "D", {"event": "join", "group": "g1"}),
+            (2.0, "mld", "D", {"event": "leave", "group": "g1"}),
+            (3.0, "pim", "E", {"event": "graft-sent"}),
+            (4.0, "mld", "E", {"event": "join", "group": "g2"}),
+        ]
+        for t, cat, node, detail in rows:
+            sim.schedule_at(t, tr.record, cat, node, **detail)
+        sim.run()
+        return tr
+
+    def test_query_by_category(self):
+        tr = self._populate()
+        assert tr.count("mld") == 3
+
+    def test_query_by_node(self):
+        tr = self._populate()
+        assert tr.count("mld", node="D") == 2
+
+    def test_query_by_detail(self):
+        tr = self._populate()
+        assert tr.count("mld", event="join") == 2
+
+    def test_query_time_window(self):
+        tr = self._populate()
+        assert tr.count(since=2.0, until=3.0) == 2
+
+    def test_first(self):
+        tr = self._populate()
+        ev = tr.first("mld", event="join")
+        assert ev.time == 1.0
+
+    def test_first_none_when_absent(self):
+        tr = self._populate()
+        assert tr.first("mipv6") is None
+
+    def test_last(self):
+        tr = self._populate()
+        assert tr.last("mld").time == 4.0
+
+    def test_clear(self):
+        tr = self._populate()
+        tr.clear()
+        assert tr.count() == 0
+
+    def test_matches_helper(self):
+        tr = self._populate()
+        ev = tr.first("pim")
+        assert ev.matches(event="graft-sent")
+        assert not ev.matches(event="prune-sent")

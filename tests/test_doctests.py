@@ -1,0 +1,32 @@
+"""Run the doctest examples embedded in module/class docstrings.
+
+The public API docstrings carry runnable examples; this keeps them
+honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.mipv6.options
+import repro.net.addressing
+import repro.net.packet
+import repro.sim.kernel
+import repro.sim.rng
+import repro.sim.timers
+
+MODULES = [
+    repro.sim.kernel,
+    repro.sim.timers,
+    repro.sim.rng,
+    repro.net.addressing,
+    repro.net.packet,
+    repro.mipv6.options,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,50 @@
+"""Reusable small-topology builders for tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.mipv6 import HomeAgent
+from repro.net import Address, Host, Link, Network, make_multicast_group
+from repro.pimdm import MulticastRouter
+
+
+@dataclass
+class LineTopology:
+    """R routers in a line: L0 -R0- L1 -R1- L2 ... -R(n-1)- Ln."""
+
+    net: Network
+    links: List[Link]
+    routers: List[MulticastRouter]
+    group: Address
+
+    def host_on(self, link_index: int, host_id: int, name: str) -> Host:
+        host = Host(self.net.sim, name, tracer=self.net.tracer, rng=self.net.rng)
+        link = self.links[link_index]
+        host.attach_to(link, link.prefix.address_for_host(host_id))
+        self.net.register_node(host)
+        return host
+
+
+def build_line(
+    n_routers: int = 2, seed: int = 7, use_home_agents: bool = False, **router_kw
+) -> LineTopology:
+    """Build a line topology with ``n_routers`` routers, n+1 links."""
+    net = Network(seed=seed)
+    links = [
+        net.add_link(f"L{i}", f"2001:db8:{i + 1:x}::/64")
+        for i in range(n_routers + 1)
+    ]
+    routers = []
+    cls = HomeAgent if use_home_agents else MulticastRouter
+    for i in range(n_routers):
+        router = cls(net.sim, f"R{i}", tracer=net.tracer, rng=net.rng, **router_kw)
+        for link in (links[i], links[i + 1]):
+            router.attach_to(link, link.prefix.address_for_host(i + 1))
+        net.register_node(router)
+        net.on_start(router.start)
+        routers.append(router)
+    return LineTopology(
+        net=net, links=links, routers=routers, group=make_multicast_group(1)
+    )
