@@ -8,15 +8,17 @@ Debugging/analysis aids over the structured trace:
 * :func:`render_timeline` — align any event list as a time-offset
   table,
 * :func:`export_trace_json` / :func:`load_trace_json` — lossless trace
-  round-trip for external tooling.
+  round-trip for external tooling (thin wrappers over
+  :mod:`repro.obs.export`, which adds the versioned header and stats
+  snapshots used by ``python -m repro trace``).
 """
 
 from __future__ import annotations
 
-import json
-from typing import Any, Dict, List, Optional
+from typing import List, Optional
 
 from ..net import Network
+from ..obs.export import export_run, read_events
 from ..sim import TraceEvent, Tracer
 
 __all__ = [
@@ -84,49 +86,10 @@ def render_timeline(events: List[TraceEvent], origin: Optional[float] = None) ->
 
 def export_trace_json(tracer: Tracer, path: str) -> int:
     """Write the whole trace as JSON lines; returns the event count."""
-    with open(path, "w") as fh:
-        for ev in tracer.events:
-            fh.write(
-                json.dumps(
-                    {
-                        "time": ev.time,
-                        "category": ev.category,
-                        "node": ev.node,
-                        "detail": _jsonable(ev.detail),
-                    }
-                )
-            )
-            fh.write("\n")
-    return len(tracer.events)
+    return export_run(path, tracer)
 
 
 def load_trace_json(path: str) -> List[TraceEvent]:
-    """Read a trace back from :func:`export_trace_json` output."""
-    events: List[TraceEvent] = []
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            raw = json.loads(line)
-            events.append(
-                TraceEvent(
-                    time=raw["time"],
-                    category=raw["category"],
-                    node=raw["node"],
-                    detail=raw["detail"],
-                )
-            )
-    return events
-
-
-def _jsonable(detail: Dict[str, Any]) -> Dict[str, Any]:
-    out: Dict[str, Any] = {}
-    for key, value in detail.items():
-        if isinstance(value, (str, int, float, bool)) or value is None:
-            out[key] = value
-        elif isinstance(value, (list, tuple)):
-            out[key] = [str(v) for v in value]
-        else:
-            out[key] = str(value)
-    return out
+    """Read the events back from :func:`export_trace_json` output (or
+    any ``repro.obs.export`` JSONL file; non-event lines are skipped)."""
+    return read_events(path)

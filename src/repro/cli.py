@@ -5,20 +5,31 @@ Reproduces any experiment from DESIGN.md §5 without writing code::
     python -m repro list                 # available experiments
     python -m repro fig1                 # Figure 1 tree
     python -m repro fig2 --seed 3        # Figure 2 receiver move
+    python -m repro fig2 --json          # machine-readable results
     python -m repro compare              # the full §4.3 comparison
     python -m repro timers --intervals 10 25 60 125
     python -m repro scaling              # HA load sweeps (§4.3.2)
     python -m repro table1
+
+Observability (see docs/OBSERVABILITY.md)::
+
+    python -m repro trace --export run.jsonl   # run + persist the trace
+    python -m repro trace --import run.jsonl   # same numbers, offline
+    python -m repro trace --metrics            # Prometheus-text metrics
+    python -m repro profile fig2 --top 10      # kernel hotspot report
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict
+from dataclasses import asdict
+from typing import Any, Callable, Dict, Optional
 
 from .analysis import fmt_seconds, render_figure
 from .core import (
+    ALL_APPROACHES,
     BIDIRECTIONAL_TUNNEL,
     LOCAL_MEMBERSHIP,
     ROUTER_LINKS,
@@ -33,16 +44,41 @@ from .core import (
 )
 from .core.report import generate_report
 from .core.timer_optimization import render_sweep
+from .mld import MldConfig
+from .obs import (
+    KernelProfiler,
+    MetricsRegistry,
+    TraceCollector,
+    export_run,
+    import_run,
+    summarize_mobility,
+)
 
 __all__ = ["main"]
+
+
+def _print_json(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
 
 
 def _fig1(args: argparse.Namespace) -> None:
     sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=LOCAL_MEMBERSHIP))
     sc.converge()
+    asserts, prunes = sc.metrics.assert_count(), sc.metrics.prune_count()
+    if args.json:
+        _print_json(
+            {
+                "experiment": "fig1",
+                "seed": args.seed,
+                "tree": sc.current_tree(),
+                "asserts": asserts,
+                "prunes": prunes,
+            }
+        )
+        return
     print(render_figure(sc.current_tree(), "L1", ROUTER_LINKS,
                         title="Figure 1 — initial distribution tree"))
-    print(f"asserts: {sc.metrics.assert_count()}  prunes: {sc.metrics.prune_count()}")
+    print(f"asserts: {asserts}  prunes: {prunes}")
 
 
 def _fig2(args: argparse.Namespace) -> None:
@@ -50,10 +86,23 @@ def _fig2(args: argparse.Namespace) -> None:
     sc.converge()
     sc.move("R3", "L6", at=40.0)
     sc.run_until(40.0 + 260.0 + 30.0)
+    join, leave = sc.join_delay("R3", 40.0), sc.leave_delay("L4", 40.0)
+    if args.json:
+        _print_json(
+            {
+                "experiment": "fig2",
+                "seed": args.seed,
+                "tree": sc.current_tree(),
+                "join_delay": join,
+                "leave_delay": leave,
+                "leave_delay_bound": 260.0,
+            }
+        )
+        return
     print(render_figure(sc.current_tree(), "L1", ROUTER_LINKS,
                         title="Figure 2 — after R3 moved Link4->Link6"))
-    print(f"join delay:  {fmt_seconds(sc.join_delay('R3', 40.0))}")
-    print(f"leave delay: {fmt_seconds(sc.leave_delay('L4', 40.0))} (bound 260 s)")
+    print(f"join delay:  {fmt_seconds(join)}")
+    print(f"leave delay: {fmt_seconds(leave)} (bound 260 s)")
 
 
 def _fig3(args: argparse.Namespace) -> None:
@@ -62,6 +111,18 @@ def _fig3(args: argparse.Namespace) -> None:
     sc.move("R3", "L1", at=40.0)
     sc.run_until(90.0)
     d = sc.paper.router("D")
+    groups = [str(g) for g in d.groups_on_behalf()]
+    if args.json:
+        _print_json(
+            {
+                "experiment": "fig3",
+                "seed": args.seed,
+                "tree": sc.current_tree(),
+                "tunneled_datagrams": d.tunneled_to_mobiles,
+                "groups_on_behalf": groups,
+            }
+        )
+        return
     print(render_figure(
         sc.current_tree(), "L1", ROUTER_LINKS,
         tunnels=[("Router D", f"R3 @ {sc.paper.host('R3').care_of_address}",
@@ -69,7 +130,7 @@ def _fig3(args: argparse.Namespace) -> None:
         title="Figure 3 — R3 via home-agent tunnel",
     ))
     print(f"tunneled datagrams: {d.tunneled_to_mobiles}  "
-          f"on-behalf groups: {[str(g) for g in d.groups_on_behalf()]}")
+          f"on-behalf groups: {groups}")
 
 
 def _fig4(args: argparse.Namespace) -> None:
@@ -77,22 +138,65 @@ def _fig4(args: argparse.Namespace) -> None:
     sc.converge()
     sc.move("S", "L6", at=40.0)
     sc.run_until(100.0)
+    reverse_tunneled = sc.paper.router("A").reverse_tunneled
+    if args.json:
+        _print_json(
+            {
+                "experiment": "fig4",
+                "seed": args.seed,
+                "tree": sc.current_tree(),
+                "reverse_tunneled": reverse_tunneled,
+            }
+        )
+        return
     print(render_figure(
         sc.current_tree(), "L1", ROUTER_LINKS,
         tunnels=[(f"S @ {sc.paper.sender.care_of_address}", "Router A",
                   "MH->HA multicast tunnel")],
         title="Figure 4 — S via reverse tunnel (tree unchanged)",
     ))
-    print(f"reverse-tunneled: {sc.paper.router('A').reverse_tunneled}")
+    print(f"reverse-tunneled: {reverse_tunneled}")
 
 
 def _table1(args: argparse.Namespace) -> None:
+    if args.json:
+        _print_json(
+            {
+                "experiment": "table1",
+                "approaches": [
+                    {
+                        "key": a.key,
+                        "title": a.title,
+                        "recv_mode": str(a.recv_mode),
+                        "send_mode": str(a.send_mode),
+                    }
+                    for a in ALL_APPROACHES
+                ],
+            }
+        )
+        return
     print(render_table1())
 
 
 def _compare(args: argparse.Namespace) -> None:
     report = run_full_comparison(seed=args.seed)
-    print(report.render())
+    if args.json:
+        _print_json(
+            {
+                "experiment": "compare",
+                "seed": args.seed,
+                "all_claims_hold": report.all_claims_hold,
+                "receiver_rows": report.receiver_rows,
+                "join_study_rows": report.join_study_rows,
+                "sender_rows": report.sender_rows,
+                "claims": [
+                    {"claim": text, "holds": ok, "detail": detail}
+                    for text, ok, detail in report.claims
+                ],
+            }
+        )
+    else:
+        print(report.render())
     sys.exit(0 if report.all_claims_hold else 1)
 
 
@@ -101,6 +205,21 @@ def _timers(args: argparse.Namespace) -> None:
         query_intervals=tuple(args.intervals),
         seeds=tuple(range(args.repeats)),
     )
+    if args.json:
+        _print_json(
+            {
+                "experiment": "timers",
+                "points": [
+                    {
+                        **asdict(p),
+                        "mean_join_delay": p.mean_join_delay,
+                        "mean_leave_delay": p.mean_leave_delay,
+                    }
+                    for p in points
+                ],
+            }
+        )
+        return
     print(render_sweep(points))
 
 
@@ -115,9 +234,162 @@ def _report(args: argparse.Namespace) -> None:
 
 
 def _scaling(args: argparse.Namespace) -> None:
-    print(render_scaling(run_ha_load_vs_mobiles(counts=(1, 2, 4, 8)), "mobiles"))
+    mobiles = run_ha_load_vs_mobiles(counts=(1, 2, 4, 8))
+    groups = run_ha_load_vs_groups(counts=(1, 2, 4))
+    if args.json:
+        _print_json(
+            {"experiment": "scaling", "mobiles": mobiles, "groups": groups}
+        )
+        return
+    print(render_scaling(mobiles, "mobiles"))
     print()
-    print(render_scaling(run_ha_load_vs_groups(counts=(1, 2, 4)), "groups"))
+    print(render_scaling(groups, "groups"))
+
+
+# ----------------------------------------------------------------------
+# observability commands
+# ----------------------------------------------------------------------
+
+#: The canned trace scenario: the Figure 2 receiver move, run long
+#: enough to observe both the join and the leave (bounded by T_MLI).
+_TRACE_MOVE_AT = 40.0
+_TRACE_RECEIVER = "R3"
+_TRACE_OLD_LINK = "L4"
+_TRACE_NEW_LINK = "L6"
+
+
+def _render_summary(summary: Dict[str, Any], source: str) -> str:
+    lines = [f"trace summary — receiver move ({source})"]
+    lines.append(f"  join delay:        {fmt_seconds(summary['join_delay'])}")
+    lines.append(f"  leave delay:       {fmt_seconds(summary['leave_delay'])}")
+    for key, label in (
+        ("wasted_bytes_old_link", "wasted (old link)"),
+        ("tunnel_overhead", "tunnel overhead"),
+        ("mld_bytes", "MLD signaling"),
+        ("pim_bytes", "PIM signaling"),
+        ("mipv6_bytes", "MIPv6 signaling"),
+    ):
+        if key in summary:
+            lines.append(f"  {label + ':':<19}{summary[key]} B")
+    lines.append(
+        f"  prunes/grafts/asserts since move: {summary['prunes']}"
+        f"/{summary['grafts']}/{summary['asserts']}"
+    )
+    lines.append(f"  trace events:      {summary['events_total']}")
+    return "\n".join(lines)
+
+
+def _trace(args: argparse.Namespace) -> None:
+    if args.capacity is not None and args.capacity <= 0:
+        raise SystemExit(f"error: --capacity must be positive, got {args.capacity}")
+    if args.import_path:
+        try:
+            archive = import_run(args.import_path)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read trace file: {exc}")
+        except ValueError as exc:
+            raise SystemExit(f"error: invalid trace file: {exc}")
+        meta = archive.meta
+        summary = summarize_mobility(
+            archive,
+            move_time=meta.get("move_time", _TRACE_MOVE_AT),
+            receiver=meta.get("receiver", _TRACE_RECEIVER),
+            old_link=meta.get("old_link", _TRACE_OLD_LINK),
+            snapshots=archive.snapshots,
+            group=meta.get("group"),
+        )
+        if args.json:
+            _print_json({"source": args.import_path, "meta": meta, **summary})
+        else:
+            print(_render_summary(summary, f"offline: {args.import_path}"))
+        return
+
+    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=LOCAL_MEMBERSHIP))
+    if args.capacity is not None:
+        sc.net.tracer.set_capacity(args.capacity)
+    registry = MetricsRegistry()
+    TraceCollector(registry).attach(sc.net.tracer)
+    sc.converge()
+    before = sc.metrics.snapshot()
+    sc.move(_TRACE_RECEIVER, _TRACE_NEW_LINK, at=_TRACE_MOVE_AT)
+    t_mli = (sc.config.mld or MldConfig()).multicast_listener_interval
+    sc.run_until(_TRACE_MOVE_AT + t_mli + 30.0)
+    snapshots = [before, sc.metrics.snapshot()]
+
+    summary = summarize_mobility(
+        sc.net.tracer,
+        move_time=_TRACE_MOVE_AT,
+        receiver=_TRACE_RECEIVER,
+        old_link=_TRACE_OLD_LINK,
+        snapshots=snapshots,
+        group=str(sc.group),
+    )
+    if args.export:
+        count = export_run(
+            args.export,
+            sc.net.tracer,
+            snapshots=snapshots,
+            meta={
+                "scenario": "fig2-receiver-move",
+                "seed": args.seed,
+                "move_time": _TRACE_MOVE_AT,
+                "receiver": _TRACE_RECEIVER,
+                "old_link": _TRACE_OLD_LINK,
+                "new_link": _TRACE_NEW_LINK,
+                "group": str(sc.group),
+            },
+        )
+    if args.json:
+        payload = {"source": "live", "seed": args.seed, **summary}
+        if args.export:
+            payload["exported"] = {"path": args.export, "events": count}
+        _print_json(payload)
+    else:
+        print(_render_summary(summary, f"live run, seed {args.seed}"))
+        if args.export:
+            print(f"exported {count} events to {args.export}")
+    if args.metrics:
+        sc.metrics.publish(registry)
+        print(registry.render_prometheus(), end="")
+
+
+#: experiment -> (approach, move, move_at, run_until)
+_PROFILE_RUNS: Dict[str, Any] = {
+    "fig1": (LOCAL_MEMBERSHIP, None, None, None),
+    "fig2": (LOCAL_MEMBERSHIP, ("R3", "L6"), 40.0, 40.0 + 260.0 + 30.0),
+    "fig3": (BIDIRECTIONAL_TUNNEL, ("R3", "L1"), 40.0, 90.0),
+    "fig4": (BIDIRECTIONAL_TUNNEL, ("S", "L6"), 40.0, 100.0),
+}
+
+
+def _profile(args: argparse.Namespace) -> None:
+    approach, move, move_at, until = _PROFILE_RUNS[args.experiment]
+    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=approach))
+    profiler = KernelProfiler().install(sc.net.sim)
+    sc.converge()
+    if move is not None:
+        sc.move(move[0], move[1], at=move_at)
+        sc.run_until(until)
+    if args.json:
+        _print_json(
+            {
+                "experiment": args.experiment,
+                "seed": args.seed,
+                "total_events": profiler.total_events,
+                "total_time": profiler.total_time,
+                "entries": [
+                    {
+                        "label": e.label,
+                        "count": e.count,
+                        "total_time": e.total_time,
+                        "mean_time": e.mean_time,
+                    }
+                    for e in profiler.top(args.top)
+                ],
+            }
+        )
+        return
+    print(profiler.report(top_n=args.top))
 
 
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
@@ -130,6 +402,8 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "timers": _timers,
     "scaling": _scaling,
     "report": _report,
+    "trace": _trace,
+    "profile": _profile,
 }
 
 
@@ -152,6 +426,8 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
     report = sub.add_parser("report", help="run everything, emit a Markdown report")
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", "-o", default=None)
@@ -160,6 +436,31 @@ def build_parser() -> argparse.ArgumentParser:
     timers.add_argument("--intervals", type=float, nargs="+",
                         default=[10.0, 25.0, 60.0, 125.0])
     timers.add_argument("--repeats", type=int, default=3)
+    timers.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    trace = sub.add_parser(
+        "trace",
+        help="run the receiver-move scenario, export/analyze its JSONL trace",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--export", metavar="PATH", default=None,
+                       help="persist the run (events + stats snapshots) as JSONL")
+    trace.add_argument("--import", dest="import_path", metavar="PATH", default=None,
+                       help="re-analyze a saved JSONL trace offline (no simulation)")
+    trace.add_argument("--capacity", type=int, default=None,
+                       help="bounded ring-buffer trace mode: keep newest N events")
+    trace.add_argument("--metrics", action="store_true",
+                       help="also print the metrics registry (Prometheus text)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+    profile = sub.add_parser("profile", help="kernel hotspot profile of one experiment")
+    profile.add_argument("experiment", choices=sorted(_PROFILE_RUNS), nargs="?",
+                         default="fig2")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--top", type=int, default=10,
+                         help="number of hotspot labels to show")
+    profile.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of text")
     return parser
 
 

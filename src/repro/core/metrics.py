@@ -63,7 +63,13 @@ class StatsSnapshot:
 
 
 class ScenarioMetrics:
-    """Trace/stats-backed metric queries for one simulation run."""
+    """Trace/stats-backed metric queries for one simulation run.
+
+    Every trace read goes through the tracer's indexed store
+    (:class:`repro.obs.store.TraceStore`), so the per-category /
+    per-node / time-window lookups below cost O(log k) instead of a
+    scan over the whole event list.
+    """
 
     def __init__(self, net: Network) -> None:
         self.net = net
@@ -178,6 +184,24 @@ class ScenarioMetrics:
                 row["groups_on_behalf"] = len(cache.all_groups())
             out[name] = row
         return out
+
+    def publish(self, registry) -> None:
+        """Export the run's current state into a metrics registry.
+
+        Publishes the per-link byte/packet counters (via
+        ``NetworkStats.publish_to``) and the §4.3 per-node load rows as
+        ``repro_node_load{node,counter}`` gauges.  ``registry`` is any
+        :class:`repro.obs.registry.MetricsRegistry`-shaped object.
+        """
+        self.net.stats.publish_to(registry)
+        load_gauge = registry.gauge(
+            "repro_node_load",
+            "Per-node processing/storage load counters (§4.3)",
+            ("node", "counter"),
+        )
+        for name, row in self.system_load().items():
+            for counter, value in row.items():
+                load_gauge.labels(node=name, counter=counter).set(value)
 
     def total_encapsulations(self) -> int:
         return sum(n.load["encapsulations"] for n in self.net.nodes.values())

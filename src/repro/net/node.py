@@ -297,6 +297,7 @@ class Host(Node):
                 flow=message.flow,
                 seqno=message.seqno,
                 src=str(packet.inner.src),
+                latency=self.sim.now - message.sent_at,
             )
             for callback in self._app_receivers:
                 callback(packet, message)

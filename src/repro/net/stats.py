@@ -134,6 +134,31 @@ class NetworkStats:
             for name, stats in self._per_link.items()
         }
 
+    def publish_to(self, registry) -> None:
+        """Export all counters as gauges into a metrics registry.
+
+        ``registry`` is duck-typed (any
+        :class:`repro.obs.registry.MetricsRegistry`-shaped object) so
+        the net layer keeps no dependency on :mod:`repro.obs`.
+        Idempotent: republishing overwrites the gauge values.
+        """
+        bytes_gauge = registry.gauge(
+            "repro_link_bytes",
+            "Per-link bytes by traffic category",
+            ("link", "category"),
+        )
+        packets_gauge = registry.gauge(
+            "repro_link_packets",
+            "Per-link packets by traffic category",
+            ("link", "category"),
+        )
+        for name in sorted(self._per_link):
+            stats = self._per_link[name]
+            for category, value in stats.bytes_by_category.items():
+                bytes_gauge.labels(link=name, category=category).set(value)
+            for category, value in stats.packets_by_category.items():
+                packets_gauge.labels(link=name, category=category).set(value)
+
     def render(self) -> str:
         """Human-readable table of per-link byte counters."""
         lines = [f"{'link':<10}" + "".join(f"{c:>16}" for c in CATEGORIES)]

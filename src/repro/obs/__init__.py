@@ -1,0 +1,61 @@
+"""Observability: indexed trace store, metrics, profiling, trace export.
+
+The measurement stack of the reproduction:
+
+* :mod:`repro.obs.store` — :class:`TraceStore`, the indexed (and
+  optionally ring-bounded) backing store behind
+  :class:`repro.sim.trace.Tracer`,
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry` with counters,
+  gauges and histograms, fed live from the trace stream by
+  :class:`TraceCollector`, Prometheus-text exposition,
+* :mod:`repro.obs.profiler` — :class:`KernelProfiler`, per-label
+  dispatch count / wall-clock aggregation inside the simulation
+  kernel,
+* :mod:`repro.obs.export` — JSONL trace export/import and
+  :class:`TraceArchive` for offline re-analysis of saved runs.
+
+See ``docs/OBSERVABILITY.md`` for the guided tour.
+"""
+
+from .export import (
+    FORMAT_VERSION,
+    TraceArchive,
+    export_run,
+    import_run,
+    read_events,
+    summarize_mobility,
+)
+from .profiler import KernelProfiler, ProfileEntry, profiled
+from .registry import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    TraceCollector,
+)
+from .store import TraceQueryMixin, TraceStore
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "FORMAT_VERSION",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "LATENCY_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "ProfileEntry",
+    "TraceArchive",
+    "TraceCollector",
+    "TraceQueryMixin",
+    "TraceStore",
+    "export_run",
+    "import_run",
+    "profiled",
+    "read_events",
+    "summarize_mobility",
+]

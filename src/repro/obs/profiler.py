@@ -1,0 +1,133 @@
+"""Kernel hotspot profiler.
+
+Aggregates wall-clock time and dispatch counts per event label inside
+:meth:`repro.sim.kernel.Simulator.step`/``run``.  The kernel calls
+:meth:`KernelProfiler.account` around every callback only while a
+profiler is installed (``Simulator.set_profiler``); when none is, the
+dispatch loop pays a single ``is None`` check per event, so profiling
+can stay compiled-in without taxing benchmark runs.
+
+Labels come from ``schedule(..., label=...)`` where call sites provide
+one (``"R3.join"``, ``"S.move"``) and fall back to the callback's
+``__qualname__`` (``"Link._deliver"``, ``"Timer._fire"``), which groups
+hotspots by code path.
+
+Usage::
+
+    profiler = KernelProfiler()
+    profiler.install(net.sim)
+    sc.converge()
+    print(profiler.report(top_n=10))
+
+or scoped::
+
+    with profiled(net.sim) as profiler:
+        sc.converge()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List
+
+__all__ = ["KernelProfiler", "ProfileEntry", "profiled"]
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """Aggregated cost of one dispatch label."""
+
+    label: str
+    count: int
+    total_time: float
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+
+class KernelProfiler:
+    """Per-label dispatch count / wall-clock aggregation."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        self._records: Dict[str, List[float]] = {}  # label -> [count, total]
+
+    # ------------------------------------------------------------------
+    # kernel-facing
+    # ------------------------------------------------------------------
+    def account(self, label: str, elapsed: float) -> None:
+        """Charge one dispatched callback (called by the kernel)."""
+        record = self._records.get(label)
+        if record is None:
+            self._records[label] = [1, elapsed]
+        else:
+            record[0] += 1
+            record[1] += elapsed
+
+    def install(self, sim: Any) -> "KernelProfiler":
+        sim.set_profiler(self)
+        return self
+
+    def uninstall(self, sim: Any) -> None:
+        sim.set_profiler(None)
+
+    def reset(self) -> None:
+        self._records.clear()
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def total_events(self) -> int:
+        return sum(int(record[0]) for record in self._records.values())
+
+    @property
+    def total_time(self) -> float:
+        return sum(record[1] for record in self._records.values())
+
+    def entries(self) -> List[ProfileEntry]:
+        """All labels, most expensive first."""
+        out = [
+            ProfileEntry(label, int(record[0]), record[1])
+            for label, record in self._records.items()
+        ]
+        out.sort(key=lambda entry: (-entry.total_time, entry.label))
+        return out
+
+    def top(self, n: int = 10) -> List[ProfileEntry]:
+        return self.entries()[:n]
+
+    def report(self, top_n: int = 10) -> str:
+        """Aligned top-N hotspot table."""
+        total = self.total_time
+        lines = [
+            f"kernel profile — {self.total_events} events, "
+            f"{total * 1e3:.1f} ms total dispatch time",
+            f"{'rank':>4}  {'label':<40} {'count':>9} {'total':>10} "
+            f"{'mean':>10} {'share':>7}",
+        ]
+        for rank, entry in enumerate(self.top(top_n), start=1):
+            share = entry.total_time / total * 100 if total else 0.0
+            lines.append(
+                f"{rank:>4}  {entry.label:<40} {entry.count:>9} "
+                f"{entry.total_time * 1e3:>8.2f}ms "
+                f"{entry.mean_time * 1e6:>8.2f}µs {share:>6.1f}%"
+            )
+        remaining = len(self._records) - top_n
+        if remaining > 0:
+            lines.append(f"      ... and {remaining} more labels")
+        return "\n".join(lines)
+
+
+@contextmanager
+def profiled(sim: Any, profiler: KernelProfiler | None = None) -> Iterator[KernelProfiler]:
+    """Install a profiler for the duration of a ``with`` block."""
+    prof = profiler if profiler is not None else KernelProfiler()
+    sim.set_profiler(prof)
+    try:
+        yield prof
+    finally:
+        sim.set_profiler(None)

@@ -1,0 +1,365 @@
+"""Metrics registry: counters, gauges, histograms, text exposition.
+
+A light Prometheus-style registry fed *live* from the trace stream
+(via :class:`TraceCollector` hooked into ``Tracer.add_listener``) and
+from point-in-time publishers (``NetworkStats.publish_to``,
+``ScenarioMetrics.publish``).  No external dependency: exposition is
+plain text in the Prometheus 0.0.4 format, good enough to diff in
+tests and scrape off disk.
+
+Metric families are created idempotently::
+
+    registry = MetricsRegistry()
+    prunes = registry.counter("repro_protocol_events_total",
+                              label_names=("category", "event"))
+    prunes.labels(category="pim", event="prune-sent").inc()
+    print(registry.render_prometheus())
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "TraceCollector",
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+]
+
+#: General-purpose bucket boundaries (seconds-ish magnitudes).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 60.0, 125.0, 260.0,
+)
+
+#: Sub-second boundaries for per-packet delivery latency.
+LATENCY_BUCKETS = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.5, 1.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """Set/inc/dec value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum and count.
+
+    ``bucket_counts[i]`` counts observations in
+    ``(boundaries[i-1], boundaries[i]]``; the final slot is +Inf.
+    """
+
+    __slots__ = ("boundaries", "bucket_counts", "sum", "count")
+
+    def __init__(self, boundaries: Iterable[float]) -> None:
+        bounds = tuple(sorted(boundaries))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        self.boundaries = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative (le, count) pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for boundary, n in zip(self.boundaries, self.bucket_counts):
+            running += n
+            out.append((boundary, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-boundary estimate of the q-quantile (None when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        for boundary, cum in self.cumulative():
+            if cum >= rank:
+                return boundary
+        return float("inf")  # pragma: no cover - defensive
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and typed children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        label_names: Tuple[str, ...] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._buckets = tuple(buckets)
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def labels(self, **labels: Any):
+        """The child for one label-value combination (created on use)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "histogram":
+                child = Histogram(self._buckets)
+            else:
+                child = _KINDS[self.kind]()
+            self._children[key] = child
+        return child
+
+    # Label-less families act directly as their single child.
+    def _solo(self):
+        if self.label_names:
+            raise ValueError(f"{self.name} has labels {self.label_names}; use .labels()")
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def samples(self) -> Dict[Tuple[str, ...], Any]:
+        return dict(self._children)
+
+
+class MetricsRegistry:
+    """Named metric families; snapshot and Prometheus-text exposition."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Iterable[str],
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        label_names = tuple(label_names)
+        if family is not None:
+            if family.kind != kind or family.label_names != label_names:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind} "
+                    f"with labels {family.label_names}"
+                )
+            return family
+        family = MetricFamily(name, kind, help, label_names, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", label_names: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help, label_names)
+
+    def gauge(
+        self, name: str, help: str = "", label_names: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Iterable[str] = (),
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help, label_names, buckets)
+
+    def get(self, name: str) -> MetricFamily:
+        return self._families[name]
+
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-data copy of every family: name -> {type, help, samples}.
+
+        Sample keys are ``label=value`` comma-joined strings (empty for
+        label-less metrics); histogram values are dicts with ``count``,
+        ``sum`` and cumulative ``buckets``.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for family in self.families():
+            samples: Dict[str, Any] = {}
+            for key, child in sorted(family.samples().items()):
+                label_str = ",".join(
+                    f"{n}={v}" for n, v in zip(family.label_names, key)
+                )
+                if family.kind == "histogram":
+                    samples[label_str] = {
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": {
+                            ("+Inf" if le == float("inf") else repr(le)): cum
+                            for le, cum in child.cumulative()
+                        },
+                    }
+                else:
+                    samples[label_str] = child.value
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (format 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in sorted(family.samples().items()):
+                labels = ",".join(
+                    f'{n}="{_escape(v)}"' for n, v in zip(family.label_names, key)
+                )
+                if family.kind == "histogram":
+                    for le, cum in child.cumulative():
+                        le_str = "+Inf" if le == float("inf") else _fmt(le)
+                        sep = "," if labels else ""
+                        lines.append(
+                            f'{family.name}_bucket{{{labels}{sep}le="{le_str}"}} {cum}'
+                        )
+                    suffix = f"{{{labels}}}" if labels else ""
+                    lines.append(f"{family.name}_sum{suffix} {_fmt(child.sum)}")
+                    lines.append(f"{family.name}_count{suffix} {child.count}")
+                else:
+                    suffix = f"{{{labels}}}" if labels else ""
+                    lines.append(f"{family.name}{suffix} {_fmt(child.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+class TraceCollector:
+    """Live bridge from a :class:`~repro.sim.trace.Tracer` into a registry.
+
+    Attach once per run::
+
+        registry = MetricsRegistry()
+        TraceCollector(registry).attach(net.tracer)
+
+    It maintains
+
+    * ``repro_trace_events_total{category}`` — every recorded event,
+    * ``repro_protocol_events_total{category,event}`` — events carrying
+      an ``event=`` detail (prune-sent, members-gone, attached, ...),
+    * ``repro_delivery_latency_seconds`` — histogram of end-to-end
+      multicast delivery latency from ``mcast.deliver`` records.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._events = registry.counter(
+            "repro_trace_events_total",
+            "Trace events recorded, by category",
+            ("category",),
+        )
+        self._protocol = registry.counter(
+            "repro_protocol_events_total",
+            "Protocol events, by category and event kind",
+            ("category", "event"),
+        )
+        self._latency = registry.histogram(
+            "repro_delivery_latency_seconds",
+            "End-to-end multicast delivery latency at receivers",
+            buckets=LATENCY_BUCKETS,
+        )
+
+    def attach(self, tracer: Any) -> "TraceCollector":
+        tracer.add_listener(self.on_event)
+        return self
+
+    def on_event(self, event: Any) -> None:
+        self._events.labels(category=event.category).inc()
+        kind = event.detail.get("event")
+        if kind is not None:
+            self._protocol.labels(category=event.category, event=str(kind)).inc()
+        if event.category == "mcast.deliver":
+            latency = event.detail.get("latency")
+            if latency is not None:
+                self._latency.observe(latency)

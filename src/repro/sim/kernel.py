@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
@@ -43,7 +44,16 @@ class Event:
     is O(1) (lazy deletion from the heap).
     """
 
-    __slots__ = ("time", "fn", "args", "kwargs", "cancelled", "dispatched", "label")
+    __slots__ = (
+        "time",
+        "fn",
+        "args",
+        "kwargs",
+        "cancelled",
+        "dispatched",
+        "label",
+        "_sim",
+    )
 
     def __init__(
         self,
@@ -60,10 +70,15 @@ class Event:
         self.cancelled = False
         self.dispatched = False
         self.label = label
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Cancel the event.  Cancelling a dispatched event is a no-op."""
+        if self.cancelled or self.dispatched:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._pending_count -= 1
 
     @property
     def pending(self) -> bool:
@@ -102,6 +117,8 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._dispatched_count = 0
+        self._pending_count = 0
+        self._profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # time
@@ -118,8 +135,30 @@ class Simulator:
 
     @property
     def events_pending(self) -> int:
-        """Number of queued, not-yet-cancelled events."""
-        return sum(1 for e in self._heap if e.event.pending)
+        """Number of queued, not-yet-cancelled events.
+
+        O(1): a live counter maintained on schedule / cancel /
+        dispatch, instead of summing over the whole heap.
+        """
+        return self._pending_count
+
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Install (or remove, with None) a dispatch profiler.
+
+        The profiler's ``account(label, elapsed_seconds)`` is called
+        after every dispatched callback; see
+        :class:`repro.obs.profiler.KernelProfiler`.  With no profiler
+        installed the dispatch loop pays one ``is None`` check per
+        event.
+        """
+        self._profiler = profiler
+
+    @property
+    def profiler(self) -> Optional[Any]:
+        return self._profiler
 
     # ------------------------------------------------------------------
     # scheduling
@@ -156,7 +195,9 @@ class Simulator:
                 f"cannot schedule at t={time!r}, now is t={self._now!r}"
             )
         event = Event(time, fn, args, kwargs, label=label)
+        event._sim = self
         heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), event))
+        self._pending_count += 1
         return event
 
     def call_now(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
@@ -179,7 +220,17 @@ class Simulator:
             self._now = event.time
             event.dispatched = True
             self._dispatched_count += 1
-            event.fn(*event.args, **event.kwargs)
+            self._pending_count -= 1
+            profiler = self._profiler
+            if profiler is None:
+                event.fn(*event.args, **event.kwargs)
+            else:
+                started = perf_counter()
+                event.fn(*event.args, **event.kwargs)
+                profiler.account(
+                    event.label or getattr(event.fn, "__qualname__", "?"),
+                    perf_counter() - started,
+                )
             return True
         return False
 
@@ -213,7 +264,17 @@ class Simulator:
                 self._now = event.time
                 event.dispatched = True
                 self._dispatched_count += 1
-                event.fn(*event.args, **event.kwargs)
+                self._pending_count -= 1
+                profiler = self._profiler
+                if profiler is None:
+                    event.fn(*event.args, **event.kwargs)
+                else:
+                    started = perf_counter()
+                    event.fn(*event.args, **event.kwargs)
+                    profiler.account(
+                        event.label or getattr(event.fn, "__qualname__", "?"),
+                        perf_counter() - started,
+                    )
                 dispatched += 1
                 if max_events is not None and dispatched > max_events:
                     raise SimulationError(

@@ -6,6 +6,14 @@ rather than by instrumenting protocol code with ad-hoc counters.  Every
 protocol entity emits :class:`TraceEvent` records through a shared
 :class:`Tracer`; analysis code queries the trace afterwards.
 
+Storage and querying are backed by the indexed
+:class:`~repro.obs.store.TraceStore` (per-category and per-node
+indexes, time bisection, optional bounded ring-buffer mode), so
+``query``/``first``/``last``/``count`` no longer scan every event.
+The query API itself lives in
+:class:`~repro.obs.store.TraceQueryMixin`, shared with the offline
+:class:`~repro.obs.export.TraceArchive`.
+
 Categories in use across the reproduction:
 
 =================  =====================================================
@@ -25,8 +33,9 @@ category           meaning
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from ..obs.store import TraceQueryMixin, TraceStore
 from .kernel import Simulator
 
 __all__ = ["TraceEvent", "Tracer"]
@@ -50,12 +59,13 @@ class TraceEvent:
         return f"[{self.time:10.3f}] {self.category:<14} {self.node:<10} {kv}"
 
 
-class Tracer:
-    """Collects :class:`TraceEvent` records and serves queries.
+class Tracer(TraceQueryMixin):
+    """Collects :class:`TraceEvent` records and serves indexed queries.
 
     Recording of high-volume categories (``link``) can be disabled for
     long benchmark runs; all protocol-level categories are always cheap
-    enough to keep.
+    enough to keep.  For very long runs, ``capacity=N`` keeps only the
+    newest N events (ring-buffer mode) so memory stays bounded.
     """
 
     def __init__(
@@ -63,11 +73,19 @@ class Tracer:
         sim: Simulator,
         enabled_categories: Optional[Iterable[str]] = None,
         disabled_categories: Optional[Iterable[str]] = None,
+        capacity: Optional[int] = None,
     ) -> None:
         self.sim = sim
-        self.events: List[TraceEvent] = []
         self._enabled = set(enabled_categories) if enabled_categories else None
         self._disabled = set(disabled_categories or ())
+        if self._enabled is not None:
+            overlap = self._enabled & self._disabled
+            if overlap:
+                raise ValueError(
+                    "categories both enabled and disabled: "
+                    f"{sorted(overlap)}"
+                )
+        self._store = TraceStore(capacity=capacity)
         self._listeners: List[Callable[[TraceEvent], None]] = []
 
     # ------------------------------------------------------------------
@@ -78,7 +96,7 @@ class Tracer:
         if self._enabled is not None and category not in self._enabled:
             return
         ev = TraceEvent(self.sim.now, category, node, detail)
-        self.events.append(ev)
+        self._store.append(ev)
         for listener in self._listeners:
             listener(ev)
 
@@ -87,50 +105,52 @@ class Tracer:
         self._listeners.append(fn)
 
     def disable(self, category: str) -> None:
+        """Stop recording ``category`` (existing events are kept)."""
         self._disabled.add(category)
 
+    def enable(self, category: str) -> None:
+        """(Re-)enable recording of ``category``.
+
+        Complements :meth:`disable`: removes the category from the
+        disabled set and, when a whitelist is active, adds it there.
+        """
+        self._disabled.discard(category)
+        if self._enabled is not None:
+            self._enabled.add(category)
+
+    def is_enabled(self, category: str) -> bool:
+        """Would an event in ``category`` be recorded right now?"""
+        if category in self._disabled:
+            return False
+        return self._enabled is None or category in self._enabled
+
     # ------------------------------------------------------------------
-    # queries
+    # storage control
     # ------------------------------------------------------------------
-    def query(
-        self,
-        category: Optional[str] = None,
-        node: Optional[str] = None,
-        since: Optional[float] = None,
-        until: Optional[float] = None,
-        **criteria: Any,
-    ) -> Iterator[TraceEvent]:
-        """Iterate events filtered by category / node / time / detail."""
-        for ev in self.events:
-            if category is not None and ev.category != category:
-                continue
-            if node is not None and ev.node != node:
-                continue
-            if since is not None and ev.time < since:
-                continue
-            if until is not None and ev.time > until:
-                continue
-            if criteria and not ev.matches(**criteria):
-                continue
-            yield ev
+    @property
+    def store(self) -> TraceStore:
+        """The backing :class:`~repro.obs.store.TraceStore`."""
+        return self._store
 
-    def first(self, category: Optional[str] = None, **kw: Any) -> Optional[TraceEvent]:
-        """First matching event, or None."""
-        return next(self.query(category, **kw), None)
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._store.capacity
 
-    def last(self, category: Optional[str] = None, **kw: Any) -> Optional[TraceEvent]:
-        """Last matching event, or None."""
-        result = None
-        for ev in self.query(category, **kw):
-            result = ev
-        return result
+    def set_capacity(self, capacity: Optional[int]) -> None:
+        """Switch to ring-buffer mode (or back to unbounded).
 
-    def count(self, category: Optional[str] = None, **kw: Any) -> int:
-        """Number of matching events."""
-        return sum(1 for _ in self.query(category, **kw))
+        Existing events are re-indexed into the new store; when the new
+        capacity is smaller than the current trace, only the newest
+        events survive — exactly as if the run had recorded into the
+        ring from the start.
+        """
+        store = TraceStore(capacity=capacity)
+        for ev in self._store.events:
+            store.append(ev)
+        self._store = store
 
-    def clear(self) -> None:
-        self.events.clear()
+    # ``query``/``first``/``last``/``count``/``clear`` and the
+    # ``events`` view come from TraceQueryMixin.
 
     def dump(self, limit: Optional[int] = None) -> str:  # pragma: no cover
         """Human-readable trace listing (debugging aid)."""

@@ -53,3 +53,79 @@ class TestExecution:
         main(["timers", "--intervals", "10", "--repeats", "1"])
         out = capsys.readouterr().out
         assert "T_Query" in out and "10" in out
+
+
+class TestJsonMode:
+    def test_fig1_json(self, capsys):
+        import json
+
+        main(["fig1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "fig1"
+        assert "tree" in payload and "prunes" in payload
+
+    def test_table1_json(self, capsys):
+        import json
+
+        main(["table1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["approaches"]) == 4
+
+    def test_timers_json(self, capsys):
+        import json
+
+        main(["timers", "--intervals", "10", "--repeats", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        (point,) = payload["points"]
+        assert point["query_interval"] == 10.0
+        assert "mean_join_delay" in point
+
+
+class TestObservabilityCommands:
+    def test_trace_export_import_same_numbers(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "run.jsonl")
+        main(["trace", "--export", path, "--json"])
+        live = json.loads(capsys.readouterr().out)
+        main(["trace", "--import", path, "--json"])
+        offline = json.loads(capsys.readouterr().out)
+        for key in (
+            "join_delay",
+            "leave_delay",
+            "wasted_bytes_old_link",
+            "tunnel_overhead",
+            "mld_bytes",
+            "pim_bytes",
+            "mipv6_bytes",
+            "events_total",
+        ):
+            assert live[key] == offline[key], key
+
+    def test_trace_metrics_prometheus(self, capsys):
+        main(["trace", "--metrics"])
+        out = capsys.readouterr().out
+        assert "# TYPE repro_trace_events_total counter" in out
+        assert "repro_link_bytes{" in out
+        assert "repro_node_load{" in out
+
+    def test_trace_ring_capacity(self, capsys):
+        main(["trace", "--capacity", "1000", "--json"])
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events_total"] == 1000
+
+    def test_profile_fig1(self, capsys):
+        main(["profile", "fig1", "--top", "3"])
+        out = capsys.readouterr().out
+        assert "kernel profile" in out
+        assert "share" in out
+
+    def test_profile_json(self, capsys):
+        import json
+
+        main(["profile", "fig1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_events"] > 0
+        assert payload["entries"][0]["count"] > 0

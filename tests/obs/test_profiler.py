@@ -1,0 +1,95 @@
+"""Unit tests for the kernel profiler."""
+
+from repro.obs.profiler import KernelProfiler, profiled
+from repro.sim import Simulator
+
+
+def busy():
+    sum(range(200))
+
+
+class TestAccounting:
+    def test_aggregates_per_label(self):
+        prof = KernelProfiler()
+        prof.account("a", 0.1)
+        prof.account("a", 0.3)
+        prof.account("b", 0.2)
+        assert prof.total_events == 3
+        assert abs(prof.total_time - 0.6) < 1e-12
+        (top,) = prof.top(1)
+        assert top.label == "a"
+        assert top.count == 2
+        assert top.mean_time == 0.2
+
+    def test_reset(self):
+        prof = KernelProfiler()
+        prof.account("a", 0.1)
+        prof.reset()
+        assert prof.total_events == 0
+        assert prof.entries() == []
+
+
+class TestKernelIntegration:
+    def test_profiles_dispatched_events(self):
+        sim = Simulator()
+        prof = KernelProfiler().install(sim)
+        for i in range(5):
+            sim.schedule(float(i), busy, label="busy.tick")
+        sim.schedule(10.0, busy)  # unlabeled: falls back to __qualname__
+        sim.run()
+        labels = {entry.label for entry in prof.entries()}
+        assert "busy.tick" in labels
+        assert "busy" in labels  # qualname fallback
+        by_label = {entry.label: entry for entry in prof.entries()}
+        assert by_label["busy.tick"].count == 5
+        assert by_label["busy.tick"].total_time >= 0.0
+
+    def test_step_also_profiles(self):
+        sim = Simulator()
+        prof = KernelProfiler().install(sim)
+        sim.schedule(1.0, busy, label="x")
+        assert sim.step()
+        assert prof.total_events == 1
+
+    def test_uninstall_stops_accounting(self):
+        sim = Simulator()
+        prof = KernelProfiler().install(sim)
+        sim.schedule(1.0, busy, label="x")
+        sim.run()
+        prof.uninstall(sim)
+        sim.schedule(2.0, busy, label="y")
+        sim.run()
+        assert {entry.label for entry in prof.entries()} == {"x"}
+
+    def test_no_profiler_by_default(self):
+        sim = Simulator()
+        assert sim.profiler is None
+        sim.schedule(1.0, busy)
+        sim.run()  # must not raise
+
+    def test_profiled_contextmanager(self):
+        sim = Simulator()
+        sim.schedule(1.0, busy, label="inside")
+        with profiled(sim) as prof:
+            sim.run()
+        assert sim.profiler is None
+        assert prof.total_events == 1
+        sim.schedule(2.0, busy, label="outside")
+        sim.run()
+        assert {entry.label for entry in prof.entries()} == {"inside"}
+
+
+class TestReport:
+    def test_report_contains_hotspots(self):
+        prof = KernelProfiler()
+        for i in range(12):
+            prof.account(f"label{i}", 0.001 * (i + 1))
+        text = prof.report(top_n=3)
+        assert "kernel profile" in text
+        assert "label11" in text  # most expensive first
+        assert "label0" not in text  # truncated
+        assert "and 9 more labels" in text
+
+    def test_report_empty_profile(self):
+        text = KernelProfiler().report()
+        assert "0 events" in text

@@ -177,6 +177,43 @@ class TestRunControl:
         a.cancel()
         assert sim.events_pending == 1
 
+    def test_events_pending_tracks_dispatch(self, sim):
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.step()
+        assert sim.events_pending == 3
+        sim.run()
+        assert sim.events_pending == 0
+
+    def test_double_cancel_counts_once(self, sim):
+        a = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        a.cancel()
+        a.cancel()
+        assert sim.events_pending == 1
+        sim.run()
+        assert sim.events_pending == 0
+
+    def test_cancel_after_dispatch_is_noop_for_counter(self, sim):
+        a = sim.schedule(1.0, lambda: None)
+        sim.run()
+        a.cancel()
+        assert sim.events_pending == 0
+
+    def test_pending_counter_matches_heap_scan(self, sim):
+        import random
+
+        rng = random.Random(7)
+        events = []
+        for _ in range(200):
+            if events and rng.random() < 0.3:
+                events.pop(rng.randrange(len(events))).cancel()
+            else:
+                events.append(sim.schedule(rng.uniform(0.0, 10.0), lambda: None))
+            assert sim.events_pending == sum(
+                1 for e in sim._heap if e.event.pending
+            )
+
     def test_peek_next_time(self, sim):
         assert sim.peek_next_time() is None
         ev = sim.schedule(3.0, lambda: None)

@@ -1,5 +1,7 @@
 """Unit tests for the structured tracer."""
 
+import pytest
+
 from repro.sim import Simulator, Tracer
 
 
@@ -44,6 +46,52 @@ class TestRecording:
         tr.add_listener(seen.append)
         tr.record("pim", "A", event="prune-sent")
         assert len(seen) == 1 and seen[0].detail["event"] == "prune-sent"
+
+    def test_enable_reverses_disable(self):
+        _, tr = make(disabled_categories=["link"])
+        tr.record("link", "L1")
+        tr.enable("link")
+        tr.record("link", "L1")
+        assert len(tr.events) == 1
+
+    def test_enable_extends_whitelist(self):
+        _, tr = make(enabled_categories=["pim"])
+        tr.record("mld", "A")
+        tr.enable("mld")
+        tr.record("mld", "A")
+        assert [e.category for e in tr.events] == ["mld"]
+
+    def test_is_enabled(self):
+        _, tr = make(disabled_categories=["link"])
+        assert not tr.is_enabled("link")
+        assert tr.is_enabled("pim")
+        tr.enable("link")
+        assert tr.is_enabled("link")
+
+    def test_overlapping_enable_disable_rejected(self):
+        with pytest.raises(ValueError, match="both enabled and disabled"):
+            make(enabled_categories=["pim", "mld"], disabled_categories=["pim"])
+
+
+class TestRingCapacity:
+    def test_capacity_bounds_retained_events(self):
+        _, tr = make(capacity=3)
+        for i in range(8):
+            tr.record("x", "n", i=i)
+        assert [e.detail["i"] for e in tr.events] == [5, 6, 7]
+        assert tr.capacity == 3
+        assert tr.count("x") == 3
+
+    def test_set_capacity_keeps_newest(self):
+        _, tr = make()
+        for i in range(10):
+            tr.record("x", "n", i=i)
+        tr.set_capacity(4)
+        assert [e.detail["i"] for e in tr.events] == [6, 7, 8, 9]
+        tr.set_capacity(None)  # back to unbounded, events retained
+        for i in range(10, 13):
+            tr.record("x", "n", i=i)
+        assert len(tr.events) == 7
 
 
 class TestQueries:
