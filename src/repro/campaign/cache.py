@@ -1,0 +1,153 @@
+"""Disk cache for completed campaign cells.
+
+A cell's cache key is a SHA-256 over the *canonical* JSON of
+
+* the task name,
+* the fully resolved parameters (seed included, keys sorted — so the
+  in-memory insertion order of a params dict can never change the key),
+* the cache schema version (:data:`CACHE_SCHEMA_VERSION`),
+* the code version — a digest of every ``repro`` source file, so any
+  code change invalidates every cached result automatically.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one canonical-JSON document
+per completed cell::
+
+    {"version": 1, "key": ..., "task": ..., "params": {...},
+     "result": ..., "elapsed": ...}
+
+Entries are written atomically (temp file + rename) so a crashed or
+killed worker can never leave a half-written payload behind, and are
+re-read byte-for-byte: a warm hit returns exactly the payload the cold
+run produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from .grid import canonical_params
+
+__all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "cache_key", "code_version"]
+
+#: Bump when the cache entry layout (or the meaning of stored results)
+#: changes; every key derived under the old schema becomes stale.
+CACHE_SCHEMA_VERSION = 1
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package source tree (memoized per process).
+
+    Hashing relative path + content of every ``*.py`` file means a
+    cached result can never survive a code change that might have
+    produced it — the conservative reading of "keyed by config + code
+    version".
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(path.relative_to(root).as_posix().encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version_cache = h.hexdigest()
+    return _code_version_cache
+
+
+def cache_key(
+    task: str,
+    params: Mapping[str, Any],
+    schema_version: int = CACHE_SCHEMA_VERSION,
+    code: Optional[str] = None,
+) -> str:
+    """Stable key for one resolved cell."""
+    material = json.dumps(
+        {
+            "task": task,
+            "params": json.loads(canonical_params(params)),
+            "schema": schema_version,
+            "code": code if code is not None else code_version(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of completed cell payloads."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise NotADirectoryError(f"cache dir is not a directory: {self.root}")
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None on a miss.
+
+        A corrupt entry (interrupted disk, manual edit) counts as a
+        miss: the cell simply re-runs and overwrites it.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            return None
+        if payload.get("version") != CACHE_SCHEMA_VERSION or payload.get("key") != key:
+            return None
+        return payload
+
+    def put(
+        self,
+        key: str,
+        task: str,
+        params: Mapping[str, Any],
+        result: Any,
+        elapsed: float,
+    ) -> Dict[str, Any]:
+        """Persist one completed cell; returns the stored payload."""
+        payload = {
+            "version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "task": task,
+            "params": json.loads(canonical_params(params)),
+            "result": result,
+            "elapsed": elapsed,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(encoded)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return payload
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultCache root={self.root} entries={len(self)}>"

@@ -1,0 +1,253 @@
+"""The campaign engine: shard cells across processes, cache results.
+
+:class:`CampaignRunner` takes a list of
+:class:`~repro.campaign.grid.CampaignCell` (usually from a
+:class:`~repro.campaign.grid.CampaignGrid`), resolves a deterministic
+seed for every cell, answers what it can from the on-disk
+:class:`~repro.campaign.cache.ResultCache`, and executes the rest —
+in-process for ``jobs=1``, across a ``ProcessPoolExecutor`` otherwise.
+
+Determinism contract (tested in ``tests/campaign/``):
+
+* every cell's seed is either its explicit ``params["seed"]`` or
+  :func:`repro.sim.rng.derive_seed` of the campaign master seed and
+  the cell's canonical identity — never a function of scheduling,
+* results are canonicalized through a JSON round-trip before they are
+  aggregated, so an in-process run, a pickled pool run, and a cache
+  hit all yield byte-identical payloads,
+* outcomes are returned in cell order regardless of completion order.
+
+Progress is published to a :class:`repro.obs.MetricsRegistry` (cells
+executed/cached per task, per-cell wall-clock histogram) and to an
+optional ``progress(done, total, outcome)`` callback per finished
+shard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..sim.rng import derive_seed
+from .cache import ResultCache, cache_key
+from .grid import CampaignCell, canonical_params
+from .tasks import get_task
+
+__all__ = ["CampaignResult", "CampaignRunner", "CellOutcome", "resolve_cell"]
+
+
+def _canonical_result(result: Any) -> Any:
+    """JSON round-trip: the single representation every path returns."""
+    return json.loads(json.dumps(result, sort_keys=True))
+
+
+def _execute_cell(task: str, params: Dict[str, Any]) -> Tuple[Any, float]:
+    """Worker entry point (module-level so it pickles)."""
+    fn = get_task(task)
+    started = time.perf_counter()
+    result = fn(**params)
+    elapsed = time.perf_counter() - started
+    return _canonical_result(result), elapsed
+
+
+def resolve_cell(cell: CampaignCell, master_seed: int) -> CampaignCell:
+    """Pin the cell's seed: explicit wins, otherwise derived.
+
+    The derived seed hashes the master seed together with the cell's
+    task and canonical parameters, so it is stable across runs, key
+    order, and shard placement.
+    """
+    if cell.params.get("seed") is not None:
+        return cell
+    rest = {k: v for k, v in cell.params.items() if k != "seed"}
+    seed = derive_seed(master_seed, f"{cell.task}:{canonical_params(rest)}")
+    return cell.with_params(seed=seed)
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One finished cell: where its result came from and what it cost."""
+
+    cell: CampaignCell
+    key: str
+    result: Any
+    cached: bool
+    elapsed: float
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one :meth:`CampaignRunner.run`, in cell order."""
+
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    wall_clock: float = 0.0
+    jobs: int = 1
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    def results(self) -> List[Any]:
+        return [o.result for o in self.outcomes]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "cells": len(self.outcomes),
+            "executed": self.executed,
+            "cached": self.cached,
+            "jobs": self.jobs,
+            "wall_clock": self.wall_clock,
+        }
+
+
+class CampaignRunner:
+    """Execute campaign cells with sharding, seeding, and caching."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[os.PathLike] = None,
+        master_seed: int = 0,
+        registry: Optional[Any] = None,
+        progress: Optional[Callable[[int, int, CellOutcome], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.master_seed = master_seed
+        self.registry = registry
+        self.progress = progress
+        #: Every completed campaign, newest last (CLI reporting reads this).
+        self.history: List[CampaignResult] = []
+
+    # ------------------------------------------------------------------
+    # metrics plumbing
+    # ------------------------------------------------------------------
+    def _record(self, outcome: CellOutcome) -> None:
+        if self.registry is None:
+            return
+        self.registry.counter(
+            "repro_campaign_cells_total",
+            help="Campaign cells finished, by task and result source.",
+            label_names=("task", "status"),
+        ).labels(
+            task=outcome.cell.task,
+            status="cached" if outcome.cached else "executed",
+        ).inc()
+        if not outcome.cached:
+            self.registry.histogram(
+                "repro_campaign_cell_seconds",
+                help="Wall-clock seconds per executed campaign cell.",
+                label_names=("task",),
+            ).labels(task=outcome.cell.task).observe(outcome.elapsed)
+
+    def _finish(self, result: CampaignResult) -> CampaignResult:
+        if self.registry is not None:
+            self.registry.gauge(
+                "repro_campaign_wall_seconds",
+                help="Wall-clock seconds of the last campaign run.",
+            ).set(result.wall_clock)
+        self.history.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, cells: Iterable[CampaignCell]) -> CampaignResult:
+        started = time.perf_counter()
+        resolved = [resolve_cell(cell, self.master_seed) for cell in cells]
+        keys = [cache_key(cell.task, cell.params) for cell in resolved]
+        total = len(resolved)
+        outcomes: List[Optional[CellOutcome]] = [None] * total
+        done = 0
+
+        def complete(index: int, outcome: CellOutcome) -> None:
+            nonlocal done
+            outcomes[index] = outcome
+            done += 1
+            self._record(outcome)
+            if self.progress is not None:
+                self.progress(done, total, outcome)
+
+        pending: List[int] = []
+        for i, (cell, key) in enumerate(zip(resolved, keys)):
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                complete(
+                    i,
+                    CellOutcome(
+                        cell=cell,
+                        key=key,
+                        result=hit["result"],
+                        cached=True,
+                        elapsed=hit.get("elapsed", 0.0),
+                    ),
+                )
+            else:
+                pending.append(i)
+
+        if pending and self.jobs == 1:
+            for i in pending:
+                cell = resolved[i]
+                result, elapsed = _execute_cell(cell.task, dict(cell.params))
+                complete(i, self._store(cell, keys[i], result, elapsed))
+        elif pending:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_cell, resolved[i].task, dict(resolved[i].params)): i
+                    for i in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        i = futures[future]
+                        result, elapsed = future.result()
+                        complete(i, self._store(resolved[i], keys[i], result, elapsed))
+
+        final = [o for o in outcomes if o is not None]
+        assert len(final) == total
+        return self._finish(
+            CampaignResult(
+                outcomes=final,
+                wall_clock=time.perf_counter() - started,
+                jobs=self.jobs,
+            )
+        )
+
+    def _store(
+        self, cell: CampaignCell, key: str, result: Any, elapsed: float
+    ) -> CellOutcome:
+        if self.cache is not None:
+            self.cache.put(key, cell.task, cell.params, result, elapsed)
+        return CellOutcome(
+            cell=cell, key=key, result=result, cached=False, elapsed=elapsed
+        )
+
+    @property
+    def last_result(self) -> Optional[CampaignResult]:
+        return self.history[-1] if self.history else None
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate summary across every campaign this runner ran."""
+        return {
+            "campaigns": len(self.history),
+            "cells": sum(len(r) for r in self.history),
+            "executed": sum(r.executed for r in self.history),
+            "cached": sum(r.cached for r in self.history),
+            "jobs": self.jobs,
+            "wall_clock": sum(r.wall_clock for r in self.history),
+        }

@@ -1,0 +1,216 @@
+"""The campaign task registry.
+
+A *task* is a module-level function mapping JSON-able keyword
+parameters to a JSON-able result dict.  Tasks are registered under a
+dotted name so a :class:`~repro.campaign.grid.CampaignCell` can be
+pickled to a worker process (or hashed into a cache key) as plain
+data — the worker looks the callable up by name on its side.
+
+Registered tasks:
+
+=====================  ==============================================
+``comparison.receiver``  one §4.3 receiver-mobility row
+``comparison.sender``    one §4.3 sender-mobility row
+``timers.point``         one §4.4 (T_Query, seed) measurement
+``scaling.mobiles``      HA load for one mobile-host count
+``scaling.groups``       HA load for one group count
+``scaling.rate``         HA load for one source rate
+``selftest.echo``        cheap deterministic no-sim task (tests)
+=====================  ==============================================
+
+``repro.core`` is imported lazily inside the task bodies:
+``repro.core``'s sweep modules themselves import this package to run
+through the engine, and a module-level back-import would be circular.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim import RngRegistry
+
+__all__ = ["get_task", "register_task", "task_names"]
+
+TaskFn = Callable[..., Dict[str, Any]]
+
+_REGISTRY: Dict[str, TaskFn] = {}
+
+
+def register_task(name: str) -> Callable[[TaskFn], TaskFn]:
+    """Decorator: register ``fn`` under the dotted task ``name``."""
+
+    def deco(fn: TaskFn) -> TaskFn:
+        if name in _REGISTRY:
+            raise ValueError(f"task {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def get_task(name: str) -> TaskFn:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign task {name!r}; known: {', '.join(task_names())}"
+        ) from None
+
+
+def task_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# parameter (de)hydration helpers
+# ----------------------------------------------------------------------
+
+def _approach(key: str):
+    from ..core.strategies import ALL_APPROACHES
+
+    for approach in ALL_APPROACHES:
+        if approach.key == key:
+            return approach
+    raise KeyError(f"unknown approach {key!r}")
+
+
+def _mld(config: Optional[Dict[str, Any]]):
+    if config is None:
+        return None
+    from ..mld import MldConfig
+
+    return MldConfig(**config)
+
+
+# ----------------------------------------------------------------------
+# §4.3 comparison cells
+# ----------------------------------------------------------------------
+
+@register_task("comparison.receiver")
+def comparison_receiver(
+    approach: str,
+    seed: int = 0,
+    move_link: str = "L6",
+    move_at: float = 40.0,
+    unsolicited: bool = True,
+    settle: float = 30.0,
+    measure_leave: bool = True,
+    mld: Optional[Dict[str, Any]] = None,
+    packet_interval: float = 0.05,
+) -> Dict[str, Any]:
+    from ..core.comparison import receiver_mobility_run
+
+    return receiver_mobility_run(
+        _approach(approach),
+        seed=seed,
+        move_link=move_link,
+        move_at=move_at,
+        unsolicited=unsolicited,
+        settle=settle,
+        measure_leave=measure_leave,
+        mld=_mld(mld),
+        packet_interval=packet_interval,
+    )
+
+
+@register_task("comparison.sender")
+def comparison_sender(
+    approach: str,
+    seed: int = 0,
+    move_link: str = "L6",
+    move_at: float = 40.0,
+    run_until: float = 100.0,
+    mld: Optional[Dict[str, Any]] = None,
+    packet_interval: float = 0.05,
+) -> Dict[str, Any]:
+    from ..core.comparison import sender_mobility_run
+
+    return sender_mobility_run(
+        _approach(approach),
+        seed=seed,
+        move_link=move_link,
+        move_at=move_at,
+        run_until=run_until,
+        mld=_mld(mld),
+        packet_interval=packet_interval,
+    )
+
+
+# ----------------------------------------------------------------------
+# §4.4 timer sweep cells
+# ----------------------------------------------------------------------
+
+@register_task("timers.point")
+def timers_point(
+    query_interval: float,
+    seed: int = 0,
+    move_link: str = "L6",
+    packet_interval: float = 0.1,
+    base_mld: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    from ..core.timer_optimization import timer_point_run
+
+    return timer_point_run(
+        query_interval,
+        seed=seed,
+        move_link=move_link,
+        packet_interval=packet_interval,
+        base_mld=_mld(base_mld),
+    )
+
+
+# ----------------------------------------------------------------------
+# §4.3.2 HA-load scaling cells
+# ----------------------------------------------------------------------
+
+@register_task("scaling.mobiles")
+def scaling_mobiles(
+    mobiles: int, seed: int = 0, measure_window: float = 30.0
+) -> Dict[str, Any]:
+    from ..core.scaling import ha_load_mobiles_cell
+
+    return ha_load_mobiles_cell(mobiles, seed=seed, measure_window=measure_window)
+
+
+@register_task("scaling.groups")
+def scaling_groups(
+    groups: int,
+    seed: int = 0,
+    measure_window: float = 30.0,
+    packet_interval: float = 0.1,
+) -> Dict[str, Any]:
+    from ..core.scaling import ha_load_groups_cell
+
+    return ha_load_groups_cell(
+        groups,
+        seed=seed,
+        measure_window=measure_window,
+        packet_interval=packet_interval,
+    )
+
+
+@register_task("scaling.rate")
+def scaling_rate(
+    packet_interval: float, seed: int = 0, measure_window: float = 30.0
+) -> Dict[str, Any]:
+    from ..core.scaling import ha_load_rate_cell
+
+    return ha_load_rate_cell(
+        packet_interval, seed=seed, measure_window=measure_window
+    )
+
+
+# ----------------------------------------------------------------------
+# engine self-test cell (no simulation; used by the property tests)
+# ----------------------------------------------------------------------
+
+@register_task("selftest.echo")
+def selftest_echo(seed: int = 0, **params: Any) -> Dict[str, Any]:
+    """Deterministic, sub-millisecond task exercising the seed plumbing."""
+    rng = RngRegistry(seed)
+    return {
+        "seed": seed,
+        "params": dict(sorted(params.items())),
+        "draw": rng.uniform("selftest", 0.0, 1.0),
+        "pick": rng.choice("selftest-pick", ["a", "b", "c", "d"]),
+    }

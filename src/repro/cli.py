@@ -11,6 +11,12 @@ Reproduces any experiment from DESIGN.md §5 without writing code::
     python -m repro scaling              # HA load sweeps (§4.3.2)
     python -m repro table1
 
+Campaigns (see docs/CAMPAIGNS.md)::
+
+    python -m repro sweep compare --jobs 4 --cache-dir .repro-cache
+    python -m repro sweep timers --intervals 10 25 --repeats 2 --jobs 2
+    python -m repro sweep scaling --json
+
 Observability (see docs/OBSERVABILITY.md)::
 
     python -m repro trace --export run.jsonl   # run + persist the trace
@@ -28,6 +34,7 @@ from dataclasses import asdict
 from typing import Any, Callable, Dict, Optional
 
 from .analysis import fmt_seconds, render_figure
+from .campaign import CampaignRunner
 from .core import (
     ALL_APPROACHES,
     BIDIRECTIONAL_TUNNEL,
@@ -40,8 +47,10 @@ from .core import (
     run_full_comparison,
     run_ha_load_vs_groups,
     run_ha_load_vs_mobiles,
+    run_ha_load_vs_rate,
     run_timer_sweep,
 )
+from .core.goldens import CANNED_RUNS
 from .core.report import generate_report
 from .core.timer_optimization import render_sweep
 from .mld import MldConfig
@@ -247,6 +256,107 @@ def _scaling(args: argparse.Namespace) -> None:
 
 
 # ----------------------------------------------------------------------
+# campaign sweeps (docs/CAMPAIGNS.md)
+# ----------------------------------------------------------------------
+
+def _campaign_runner(args: argparse.Namespace, registry) -> CampaignRunner:
+    """Validated runner from --jobs / --cache-dir, progress on stderr."""
+    if args.jobs < 1:
+        raise SystemExit(f"error: --jobs must be >= 1, got {args.jobs}")
+
+    def progress(done: int, total: int, outcome) -> None:
+        if args.json:
+            return
+        source = "cache" if outcome.cached else f"{outcome.elapsed:.1f}s"
+        print(
+            f"  [{done}/{total}] {outcome.cell.task} ({source})",
+            file=sys.stderr,
+        )
+
+    try:
+        return CampaignRunner(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            master_seed=args.seed,
+            registry=registry,
+            progress=progress,
+        )
+    except (NotADirectoryError, OSError) as exc:
+        raise SystemExit(f"error: invalid --cache-dir: {exc}")
+
+
+def _sweep(args: argparse.Namespace) -> None:
+    if args.repeats < 1:
+        raise SystemExit(f"error: --repeats must be >= 1, got {args.repeats}")
+    registry = MetricsRegistry()
+    runner = _campaign_runner(args, registry)
+    payload: Dict[str, Any] = {
+        "experiment": "sweep",
+        "grid": args.grid,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir,
+    }
+    sections = []
+
+    if args.grid == "compare":
+        report = run_full_comparison(seed=args.seed, runner=runner)
+        payload.update(
+            {
+                "all_claims_hold": report.all_claims_hold,
+                "receiver_rows": report.receiver_rows,
+                "join_study_rows": report.join_study_rows,
+                "sender_rows": report.sender_rows,
+                "claims": [
+                    {"claim": text, "holds": ok, "detail": detail}
+                    for text, ok, detail in report.claims
+                ],
+            }
+        )
+        sections.append(report.render())
+    elif args.grid == "timers":
+        points = run_timer_sweep(
+            query_intervals=tuple(args.intervals),
+            seeds=tuple(range(args.repeats)),
+            runner=runner,
+        )
+        payload["points"] = [
+            {
+                **asdict(p),
+                "mean_join_delay": p.mean_join_delay,
+                "mean_leave_delay": p.mean_leave_delay,
+            }
+            for p in points
+        ]
+        sections.append(render_sweep(points))
+    else:  # scaling
+        mobiles = run_ha_load_vs_mobiles(counts=(1, 2, 4, 8), seed=args.seed,
+                                         runner=runner)
+        groups = run_ha_load_vs_groups(counts=(1, 2, 4), seed=args.seed,
+                                       runner=runner)
+        rate = run_ha_load_vs_rate(packet_intervals=(0.2, 0.1, 0.05),
+                                   seed=args.seed, runner=runner)
+        payload.update({"mobiles": mobiles, "groups": groups, "rate": rate})
+        sections.append(render_scaling(mobiles, "mobiles"))
+        sections.append(render_scaling(groups, "groups"))
+        sections.append(render_scaling(rate, "packets_per_s"))
+
+    stats = runner.stats()
+    payload["campaign"] = stats
+    if args.json:
+        _print_json(payload)
+        return
+    print("\n\n".join(sections))
+    print(
+        f"\ncampaign: {stats['cells']} cells, {stats['executed']} executed, "
+        f"{stats['cached']} cached, jobs={stats['jobs']}, "
+        f"wall {stats['wall_clock']:.1f}s"
+    )
+    if args.metrics:
+        print(registry.render_prometheus(), end="")
+
+
+# ----------------------------------------------------------------------
 # observability commands
 # ----------------------------------------------------------------------
 
@@ -353,23 +463,14 @@ def _trace(args: argparse.Namespace) -> None:
         print(registry.render_prometheus(), end="")
 
 
-#: experiment -> (approach, move, move_at, run_until)
-_PROFILE_RUNS: Dict[str, Any] = {
-    "fig1": (LOCAL_MEMBERSHIP, None, None, None),
-    "fig2": (LOCAL_MEMBERSHIP, ("R3", "L6"), 40.0, 40.0 + 260.0 + 30.0),
-    "fig3": (BIDIRECTIONAL_TUNNEL, ("R3", "L1"), 40.0, 90.0),
-    "fig4": (BIDIRECTIONAL_TUNNEL, ("S", "L6"), 40.0, 100.0),
-}
-
-
 def _profile(args: argparse.Namespace) -> None:
-    approach, move, move_at, until = _PROFILE_RUNS[args.experiment]
-    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=approach))
+    recipe = CANNED_RUNS[args.experiment]
+    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=recipe.approach))
     profiler = KernelProfiler().install(sc.net.sim)
     sc.converge()
-    if move is not None:
-        sc.move(move[0], move[1], at=move_at)
-        sc.run_until(until)
+    if recipe.move is not None:
+        sc.move(recipe.move[0], recipe.move[1], at=recipe.move_at)
+        sc.run_until(recipe.run_until)
     if args.json:
         _print_json(
             {
@@ -401,6 +502,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "compare": _compare,
     "timers": _timers,
     "scaling": _scaling,
+    "sweep": _sweep,
     "report": _report,
     "trace": _trace,
     "profile": _profile,
@@ -431,6 +533,30 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="run everything, emit a Markdown report")
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", "-o", default=None)
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid through the parallel campaign engine "
+        "(sharding + result cache; see docs/CAMPAIGNS.md)",
+    )
+    sweep.add_argument("grid", choices=("compare", "timers", "scaling"),
+                       nargs="?", default="compare",
+                       help="which experiment grid to run (default: compare)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="campaign master seed")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes to shard cells across")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache completed cells here; re-runs only "
+                       "execute changed cells")
+    sweep.add_argument("--intervals", type=float, nargs="+",
+                       default=[10.0, 25.0, 60.0, 125.0],
+                       help="T_Query grid for the timers sweep")
+    sweep.add_argument("--repeats", type=int, default=3,
+                       help="seeds per timer point")
+    sweep.add_argument("--metrics", action="store_true",
+                       help="also print campaign metrics (Prometheus text)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
     timers = sub.add_parser("timers", help="§4.4 MLD timer sweep")
     timers.add_argument("--seed", type=int, default=0)
     timers.add_argument("--intervals", type=float, nargs="+",
@@ -454,7 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
     profile = sub.add_parser("profile", help="kernel hotspot profile of one experiment")
-    profile.add_argument("experiment", choices=sorted(_PROFILE_RUNS), nargs="?",
+    profile.add_argument("experiment", choices=sorted(CANNED_RUNS), nargs="?",
                          default="fig2")
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--top", type=int, default=10,

@@ -3,6 +3,7 @@
 from .adaptive import AdaptiveStrategyController
 from .comparison import (
     ComparisonReport,
+    comparison_cells,
     receiver_mobility_run,
     run_full_comparison,
     sender_mobility_run,
@@ -18,6 +19,9 @@ from .paper_topology import (
 )
 from .report import generate_report
 from .scaling import (
+    ha_load_groups_cell,
+    ha_load_mobiles_cell,
+    ha_load_rate_cell,
     render_scaling,
     run_ha_load_vs_groups,
     run_ha_load_vs_mobiles,
@@ -34,7 +38,13 @@ from .strategies import (
     approach_for,
     render_table1,
 )
-from .timer_optimization import TimerSweepPoint, render_sweep, run_timer_sweep
+from .timer_optimization import (
+    TimerSweepPoint,
+    render_sweep,
+    run_timer_sweep,
+    timer_point_run,
+    timer_sweep_cells,
+)
 
 __all__ = [
     "ALL_APPROACHES",
@@ -57,7 +67,11 @@ __all__ = [
     "TimerSweepPoint",
     "approach_for",
     "build_paper_network",
+    "comparison_cells",
     "generate_report",
+    "ha_load_groups_cell",
+    "ha_load_mobiles_cell",
+    "ha_load_rate_cell",
     "per_hop_latency",
     "receiver_mobility_run",
     "render_scaling",
@@ -69,4 +83,6 @@ __all__ = [
     "run_ha_load_vs_rate",
     "run_timer_sweep",
     "sender_mobility_run",
+    "timer_point_run",
+    "timer_sweep_cells",
 ]

@@ -24,10 +24,11 @@ network and checks the paper's qualitative ordering:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import fmt_bytes, fmt_float, fmt_seconds, render_table
+from ..campaign import CampaignCell, CampaignRunner
 from ..mipv6 import MobileIpv6Config
 from ..mld import MldConfig
 from ..pimdm import PimDmConfig
@@ -44,6 +45,7 @@ from .strategies import (
 __all__ = [
     "receiver_mobility_run",
     "sender_mobility_run",
+    "comparison_cells",
     "run_full_comparison",
     "ComparisonReport",
 ]
@@ -289,34 +291,93 @@ class ComparisonReport:
         return "\n\n".join(parts)
 
 
+#: Join-delay study rows: local membership with and without the paper's
+#: unsolicited-Report recommendation; tunnel for reference.
+_JOIN_STUDY = (
+    (LOCAL_MEMBERSHIP, True),
+    (LOCAL_MEMBERSHIP, False),
+    (BIDIRECTIONAL_TUNNEL, True),
+)
+
+
+def comparison_cells(
+    seed: int = 0,
+    approaches: Sequence[Approach] = tuple(ALL_APPROACHES),
+    measure_leave: bool = True,
+    mld: Optional[MldConfig] = None,
+) -> List[CampaignCell]:
+    """The §4.3 comparison matrix as a campaign grid.
+
+    One ``comparison.receiver`` and one ``comparison.sender`` cell per
+    approach, plus the three join-delay study cells — 11 cells with
+    the default four approaches.
+    """
+    mld_params = asdict(mld) if mld is not None else None
+    cells = [
+        CampaignCell(
+            "comparison.receiver",
+            {
+                "approach": approach.key,
+                "seed": seed,
+                "measure_leave": measure_leave,
+                "mld": mld_params,
+            },
+        )
+        for approach in approaches
+    ]
+    cells += [
+        CampaignCell(
+            "comparison.sender",
+            {"approach": approach.key, "seed": seed, "mld": mld_params},
+        )
+        for approach in approaches
+    ]
+    cells += [
+        CampaignCell(
+            "comparison.receiver",
+            {
+                "approach": approach.key,
+                "seed": seed,
+                "unsolicited": unsol,
+                "measure_leave": False,
+                "mld": mld_params,
+            },
+        )
+        for approach, unsol in _JOIN_STUDY
+    ]
+    return cells
+
+
 def run_full_comparison(
     seed: int = 0,
     approaches: Sequence[Approach] = tuple(ALL_APPROACHES),
     measure_leave: bool = True,
     mld: Optional[MldConfig] = None,
+    runner: Optional[CampaignRunner] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> ComparisonReport:
-    """Run the complete §4.3 comparison and evaluate the paper's claims."""
-    report = ComparisonReport()
-    for approach in approaches:
-        report.receiver_rows.append(
-            receiver_mobility_run(
-                approach, seed=seed, measure_leave=measure_leave, mld=mld
-            )
-        )
-        report.sender_rows.append(sender_mobility_run(approach, seed=seed, mld=mld))
+    """Run the complete §4.3 comparison and evaluate the paper's claims.
 
-    # Join-delay study: local membership with and without the paper's
-    # unsolicited-Report recommendation; tunnel for reference.
-    for approach, unsol in (
-        (LOCAL_MEMBERSHIP, True),
-        (LOCAL_MEMBERSHIP, False),
-        (BIDIRECTIONAL_TUNNEL, True),
-    ):
-        row = receiver_mobility_run(
-            approach, seed=seed, unsolicited=unsol, measure_leave=False, mld=mld
-        )
-        report.join_study_rows.append(row)
+    The matrix executes through the campaign engine
+    (:mod:`repro.campaign`): every receiver/sender/join-study cell is
+    an independent shard, so ``jobs`` parallelizes the comparison and
+    ``cache_dir`` makes re-runs incremental.  With the defaults
+    (``jobs=1``, no cache) the rows are computed exactly as the
+    original serial loops did.
+    """
+    if runner is None:
+        runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir, master_seed=seed)
+    rows = runner.run(
+        comparison_cells(seed, approaches, measure_leave, mld)
+    ).results()
 
+    n = len(list(approaches))
+    report = ComparisonReport(
+        receiver_rows=rows[:n],
+        sender_rows=rows[n : 2 * n],
+        join_study_rows=rows[2 * n :],
+    )
     _evaluate_claims(report)
     return report
 

@@ -1,0 +1,49 @@
+"""Canned Figure 1-4 runs: the repository's reference scenarios.
+
+One place defines how each paper figure's scenario is executed, so the
+profiler CLI (``python -m repro profile fig2``), the golden-trace
+regression suite (``tests/goldens/``), and ad-hoc scripts all replay
+*exactly* the same simulation for a given (figure, seed) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .scenario import PaperScenario, ScenarioConfig
+from .strategies import BIDIRECTIONAL_TUNNEL, LOCAL_MEMBERSHIP, Approach
+
+__all__ = ["CANNED_RUNS", "CannedRun", "run_canned"]
+
+
+@dataclass(frozen=True)
+class CannedRun:
+    """Recipe for one figure: approach, optional move, and horizon."""
+
+    approach: Approach
+    #: (host, destination link) of the single mobility event, if any.
+    move: Optional[Tuple[str, str]] = None
+    move_at: Optional[float] = None
+    run_until: Optional[float] = None
+
+
+CANNED_RUNS: Dict[str, CannedRun] = {
+    "fig1": CannedRun(LOCAL_MEMBERSHIP),
+    # Figure 2 horizon covers the full leave delay (T_MLI = 260 s).
+    "fig2": CannedRun(LOCAL_MEMBERSHIP, ("R3", "L6"), 40.0, 40.0 + 260.0 + 30.0),
+    "fig3": CannedRun(BIDIRECTIONAL_TUNNEL, ("R3", "L1"), 40.0, 90.0),
+    "fig4": CannedRun(BIDIRECTIONAL_TUNNEL, ("S", "L6"), 40.0, 100.0),
+}
+
+
+def run_canned(name: str, seed: int = 0) -> PaperScenario:
+    """Execute one canned figure scenario to completion."""
+    recipe = CANNED_RUNS[name]
+    sc = PaperScenario(ScenarioConfig(seed=seed, approach=recipe.approach))
+    sc.converge()
+    if recipe.move is not None:
+        host, link = recipe.move
+        sc.move(host, link, at=recipe.move_at)
+        sc.run_until(recipe.run_until)
+    return sc

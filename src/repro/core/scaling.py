@@ -19,9 +19,10 @@ agent of Link 4):
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis.tables import fmt_bytes, render_table
+from ..campaign import CampaignGrid, CampaignRunner
 from ..mipv6 import DeliveryMode
 from ..net import Address, make_multicast_group
 from ..workloads import CbrSource
@@ -32,49 +33,115 @@ __all__ = [
     "run_ha_load_vs_mobiles",
     "run_ha_load_vs_groups",
     "run_ha_load_vs_rate",
+    "ha_load_mobiles_cell",
+    "ha_load_groups_cell",
+    "ha_load_rate_cell",
     "render_scaling",
 ]
+
+
+def _run_grid(
+    grid: CampaignGrid,
+    runner: Optional[CampaignRunner],
+    jobs: int,
+    cache_dir,
+    seed: int,
+) -> List[Dict[str, Any]]:
+    if runner is None:
+        runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir, master_seed=seed)
+    return runner.run(grid.cells()).results()
+
+
+def ha_load_mobiles_cell(
+    mobiles: int, seed: int = 0, measure_window: float = 30.0
+) -> Dict[str, Any]:
+    """One sweep point: N tunnel-mode mobiles homed on Link 4, away on Link 6."""
+    sc = PaperScenario(ScenarioConfig(seed=seed, approach=BIDIRECTIONAL_TUNNEL))
+    extras = [
+        sc.paper.add_mobile_host(
+            f"M{k}", "L4", host_id=110 + k,
+            recv_mode=DeliveryMode.HA_TUNNEL, send_mode=DeliveryMode.HA_TUNNEL,
+        )
+        for k in range(mobiles)
+    ]
+    sc.converge()
+    for host in extras:
+        host.join_group(sc.group)
+    sc.run_for(2.0)
+    for k, host in enumerate(extras):
+        sc.net.sim.schedule_at(
+            40.0 + 0.1 * k, host.move_to, sc.paper.link("L6")
+        )
+    sc.run_until(45.0)
+    d = sc.paper.router("D")
+    base_encap = d.load["encapsulations"]
+    base_tunneled = d.tunneled_to_mobiles
+    sc.run_for(measure_window)
+    return {
+        "mobiles": mobiles,
+        "ha_encapsulations": d.load["encapsulations"] - base_encap,
+        "tunneled_datagrams": d.tunneled_to_mobiles - base_tunneled,
+        "bindings": len(d.binding_cache),
+        "tunnel_overhead_bytes": sc.metrics.snapshot().total("tunnel_overhead"),
+    }
 
 
 def run_ha_load_vs_mobiles(
     counts: Sequence[int] = (1, 2, 4, 8),
     seed: int = 0,
     measure_window: float = 30.0,
+    runner: Optional[CampaignRunner] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> List[Dict[str, Any]]:
     """HA encapsulation load vs. number of mobile hosts it serves."""
-    rows = []
-    for n in counts:
-        sc = PaperScenario(ScenarioConfig(seed=seed, approach=BIDIRECTIONAL_TUNNEL))
-        extras = [
-            sc.paper.add_mobile_host(
-                f"M{k}", "L4", host_id=110 + k,
-                recv_mode=DeliveryMode.HA_TUNNEL, send_mode=DeliveryMode.HA_TUNNEL,
-            )
-            for k in range(n)
-        ]
-        sc.converge()
-        for host in extras:
-            host.join_group(sc.group)
-        sc.run_for(2.0)
-        for k, host in enumerate(extras):
-            sc.net.sim.schedule_at(
-                40.0 + 0.1 * k, host.move_to, sc.paper.link("L6")
-            )
-        sc.run_until(45.0)
-        d = sc.paper.router("D")
-        base_encap = d.load["encapsulations"]
-        base_tunneled = d.tunneled_to_mobiles
-        sc.run_for(measure_window)
-        rows.append(
-            {
-                "mobiles": n,
-                "ha_encapsulations": d.load["encapsulations"] - base_encap,
-                "tunneled_datagrams": d.tunneled_to_mobiles - base_tunneled,
-                "bindings": len(d.binding_cache),
-                "tunnel_overhead_bytes": sc.metrics.snapshot().total("tunnel_overhead"),
-            }
+    grid = CampaignGrid(
+        "scaling.mobiles",
+        axes={"mobiles": list(counts)},
+        base={"seed": seed, "measure_window": measure_window},
+        name="ha-load-vs-mobiles",
+    )
+    return _run_grid(grid, runner, jobs, cache_dir, seed)
+
+
+def ha_load_groups_cell(
+    groups: int,
+    seed: int = 0,
+    measure_window: float = 30.0,
+    packet_interval: float = 0.1,
+) -> Dict[str, Any]:
+    """One sweep point: a mobile subscribed to N groups, each with CBR."""
+    sc = PaperScenario(
+        ScenarioConfig(
+            seed=seed, approach=BIDIRECTIONAL_TUNNEL,
+            packet_interval=packet_interval,
         )
-    return rows
+    )
+    group_addrs = [make_multicast_group(10 + k) for k in range(groups)]
+    sources = [
+        CbrSource(sc.paper.sender, g, packet_interval=packet_interval,
+                  flow=f"flow-{k}")
+        for k, g in enumerate(group_addrs)
+    ]
+    mobile = sc.paper.add_mobile_host(
+        "MG", "L4", host_id=120,
+        recv_mode=DeliveryMode.HA_TUNNEL, send_mode=DeliveryMode.HA_TUNNEL,
+    )
+    sc.converge()
+    for g in group_addrs:
+        mobile.join_group(g)
+    for src in sources:
+        src.start()
+    sc.move("MG", "L6", at=40.0)
+    sc.run_until(45.0)
+    d = sc.paper.router("D")
+    base = d.load["encapsulations"]
+    sc.run_for(measure_window)
+    return {
+        "groups": groups,
+        "ha_encapsulations": d.load["encapsulations"] - base,
+        "groups_on_behalf": len(d.groups_on_behalf()),
+    }
 
 
 def run_ha_load_vs_groups(
@@ -82,72 +149,61 @@ def run_ha_load_vs_groups(
     seed: int = 0,
     measure_window: float = 30.0,
     packet_interval: float = 0.1,
+    runner: Optional[CampaignRunner] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> List[Dict[str, Any]]:
     """HA encapsulation load vs. number of subscribed groups."""
-    rows = []
-    for n in counts:
-        sc = PaperScenario(
-            ScenarioConfig(
-                seed=seed, approach=BIDIRECTIONAL_TUNNEL,
-                packet_interval=packet_interval,
-            )
+    grid = CampaignGrid(
+        "scaling.groups",
+        axes={"groups": list(counts)},
+        base={
+            "seed": seed,
+            "measure_window": measure_window,
+            "packet_interval": packet_interval,
+        },
+        name="ha-load-vs-groups",
+    )
+    return _run_grid(grid, runner, jobs, cache_dir, seed)
+
+
+def ha_load_rate_cell(
+    packet_interval: float, seed: int = 0, measure_window: float = 30.0
+) -> Dict[str, Any]:
+    """One sweep point: one tunnel-mode mobile at the given source rate."""
+    sc = PaperScenario(
+        ScenarioConfig(
+            seed=seed, approach=BIDIRECTIONAL_TUNNEL, packet_interval=packet_interval
         )
-        groups = [make_multicast_group(10 + k) for k in range(n)]
-        sources = [
-            CbrSource(sc.paper.sender, g, packet_interval=packet_interval,
-                      flow=f"flow-{k}")
-            for k, g in enumerate(groups)
-        ]
-        mobile = sc.paper.add_mobile_host(
-            "MG", "L4", host_id=120,
-            recv_mode=DeliveryMode.HA_TUNNEL, send_mode=DeliveryMode.HA_TUNNEL,
-        )
-        sc.converge()
-        for g in groups:
-            mobile.join_group(g)
-        for src in sources:
-            src.start()
-        sc.move("MG", "L6", at=40.0)
-        sc.run_until(45.0)
-        d = sc.paper.router("D")
-        base = d.load["encapsulations"]
-        sc.run_for(measure_window)
-        rows.append(
-            {
-                "groups": n,
-                "ha_encapsulations": d.load["encapsulations"] - base,
-                "groups_on_behalf": len(d.groups_on_behalf()),
-            }
-        )
-    return rows
+    )
+    sc.converge()
+    sc.move("R3", "L6", at=40.0)
+    sc.run_until(45.0)
+    d = sc.paper.router("D")
+    base = d.load["encapsulations"]
+    sc.run_for(measure_window)
+    return {
+        "packets_per_s": round(1.0 / packet_interval, 1),
+        "ha_encapsulations": d.load["encapsulations"] - base,
+    }
 
 
 def run_ha_load_vs_rate(
     packet_intervals: Sequence[float] = (0.2, 0.1, 0.05),
     seed: int = 0,
     measure_window: float = 30.0,
+    runner: Optional[CampaignRunner] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> List[Dict[str, Any]]:
     """HA encapsulation load vs. source traffic rate."""
-    rows = []
-    for interval in packet_intervals:
-        sc = PaperScenario(
-            ScenarioConfig(
-                seed=seed, approach=BIDIRECTIONAL_TUNNEL, packet_interval=interval
-            )
-        )
-        sc.converge()
-        sc.move("R3", "L6", at=40.0)
-        sc.run_until(45.0)
-        d = sc.paper.router("D")
-        base = d.load["encapsulations"]
-        sc.run_for(measure_window)
-        rows.append(
-            {
-                "packets_per_s": round(1.0 / interval, 1),
-                "ha_encapsulations": d.load["encapsulations"] - base,
-            }
-        )
-    return rows
+    grid = CampaignGrid(
+        "scaling.rate",
+        axes={"packet_interval": list(packet_intervals)},
+        base={"seed": seed, "measure_window": measure_window},
+        name="ha-load-vs-rate",
+    )
+    return _run_grid(grid, runner, jobs, cache_dir, seed)
 
 
 def render_scaling(rows: List[Dict[str, Any]], key: str) -> str:

@@ -21,7 +21,7 @@ together with the closed-form expectations from
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis.delays import (
@@ -29,12 +29,19 @@ from ..analysis.delays import (
     expected_leave_delay,
 )
 from ..analysis.tables import fmt_bytes, fmt_float, fmt_seconds, render_table
+from ..campaign import CampaignCell, CampaignRunner
 from ..mld import MldConfig
 from ..sim import RngRegistry
 from .scenario import PaperScenario, ScenarioConfig
 from .strategies import LOCAL_MEMBERSHIP
 
-__all__ = ["TimerSweepPoint", "run_timer_sweep", "render_sweep"]
+__all__ = [
+    "TimerSweepPoint",
+    "run_timer_sweep",
+    "render_sweep",
+    "timer_point_run",
+    "timer_sweep_cells",
+]
 
 
 @dataclass
@@ -84,12 +91,40 @@ def _mean(values: Sequence) -> Optional[float]:
     return sum(values) / len(values) if values else None
 
 
+def timer_sweep_cells(
+    query_intervals: Sequence[float] = (10.0, 25.0, 60.0, 125.0),
+    seeds: Sequence[int] = (0, 1, 2),
+    move_link: str = "L6",
+    base_mld: Optional[MldConfig] = None,
+    packet_interval: float = 0.1,
+) -> List[CampaignCell]:
+    """The §4.4 campaign grid: one cell per (T_Query, seed)."""
+    base = asdict(base_mld) if base_mld is not None else None
+    return [
+        CampaignCell(
+            "timers.point",
+            {
+                "query_interval": qi,
+                "seed": seed,
+                "move_link": move_link,
+                "packet_interval": packet_interval,
+                "base_mld": base,
+            },
+        )
+        for qi in query_intervals
+        for seed in seeds
+    ]
+
+
 def run_timer_sweep(
     query_intervals: Sequence[float] = (10.0, 25.0, 60.0, 125.0),
     seeds: Sequence[int] = (0, 1, 2),
     move_link: str = "L6",
     base_mld: Optional[MldConfig] = None,
     packet_interval: float = 0.1,
+    runner: Optional[CampaignRunner] = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> List[TimerSweepPoint]:
     """Sweep T_Query and measure join/leave delay and bandwidth trade-off.
 
@@ -97,8 +132,19 @@ def run_timer_sweep(
     at a seed-randomized phase within the query cycle (so attachment is
     uniform within the cycle, matching the analytic model); unsolicited
     Reports are disabled to expose the wait-for-query path.
+
+    The (interval, seed) cells execute through the campaign engine:
+    pass ``jobs``/``cache_dir`` (or a preconfigured ``runner``) to
+    shard them across processes and reuse cached cells.
     """
     base = base_mld or MldConfig()
+    if runner is None:
+        runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir)
+    cells = timer_sweep_cells(
+        query_intervals, seeds, move_link, base_mld, packet_interval
+    )
+    rows = iter(runner.run(cells).results())
+
     points: List[TimerSweepPoint] = []
     for qi in query_intervals:
         mld = replace(
@@ -114,19 +160,31 @@ def run_timer_sweep(
             analytic_join=expected_join_delay_wait_for_query(mld),
             analytic_leave=expected_leave_delay(mld),
         )
-        for seed in seeds:
-            _one_run(point, mld, seed, move_link, packet_interval)
+        for _seed in seeds:
+            # cells() order is the same qi x seed nesting as this loop
+            row = next(rows)
+            point.join_delays.append(row["join_delay"])
+            point.leave_delays.append(row["leave_delay"])
+            if row["wasted_bytes"] is not None:
+                point.wasted_bytes.append(row["wasted_bytes"])
+            point.mld_bytes_per_s.append(row["mld_bytes_per_s"])
         points.append(point)
     return points
 
 
-def _one_run(
-    point: TimerSweepPoint,
-    mld: MldConfig,
-    seed: int,
-    move_link: str,
-    packet_interval: float,
-) -> None:
+def timer_point_run(
+    query_interval: float,
+    seed: int = 0,
+    move_link: str = "L6",
+    packet_interval: float = 0.1,
+    base_mld: Optional[MldConfig] = None,
+) -> Dict[str, Any]:
+    """One (T_Query, seed) measurement — the ``timers.point`` task body."""
+    base = base_mld or MldConfig()
+    mld = replace(
+        base.with_query_interval(query_interval), unsolicited_reports_on_move=False
+    )
+    t_mli = mld.multicast_listener_interval
     sc = PaperScenario(
         ScenarioConfig(
             approach=LOCAL_MEMBERSHIP,
@@ -137,22 +195,26 @@ def _one_run(
     )
     sc.converge()
     # Uniform phase within the query cycle so E[wait] = T_Query / 2.
-    phase = RngRegistry(seed).uniform("sweep-phase", 0.0, point.query_interval)
+    phase = RngRegistry(seed).uniform("sweep-phase", 0.0, query_interval)
     move_at = sc.config.converge_until + 5.0 + phase
     before = sc.metrics.snapshot()
     sc.move("R3", move_link, at=move_at)
-    horizon = move_at + point.t_mli + point.query_interval + 30.0
+    horizon = move_at + t_mli + query_interval + 30.0
     sc.run_until(horizon)
 
-    point.join_delays.append(sc.join_delay("R3", move_at))
     leave = sc.leave_delay("L4", move_at)
-    point.leave_delays.append(leave)
     after = sc.metrics.snapshot()
     delta = after.delta(before)
-    if leave is not None:
-        point.wasted_bytes.append(delta.bytes_on("L4", "mcast_data"))
     duration = after.time - before.time
-    point.mld_bytes_per_s.append(delta.total("mld") / duration if duration else 0.0)
+    return {
+        "query_interval": query_interval,
+        "seed": seed,
+        "t_mli": t_mli,
+        "join_delay": sc.join_delay("R3", move_at),
+        "leave_delay": leave,
+        "wasted_bytes": delta.bytes_on("L4", "mcast_data") if leave is not None else None,
+        "mld_bytes_per_s": delta.total("mld") / duration if duration else 0.0,
+    }
 
 
 def render_sweep(points: Sequence[TimerSweepPoint]) -> str:

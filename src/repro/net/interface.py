@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, List, Optional
 
 from .addressing import Address
@@ -14,8 +13,6 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Interface"]
 
-_iface_uid = itertools.count(1)
-
 
 class Interface:
     """One attachment point of a node.
@@ -24,11 +21,18 @@ class Interface:
     interface that re-attaches as the host moves between links (the
     Mobile IPv6 model: one physical interface, changing points of
     attachment).
+
+    ``uid`` is allocated per *node* (if1, if2, ... in creation order),
+    so interface identity — which feeds names into the trace stream —
+    is a pure function of topology construction, never of how many
+    networks the process built before (the golden-trace determinism
+    contract).  Protocol state tables key on ``uid`` only within a
+    single node, so per-node uniqueness is sufficient.
     """
 
     def __init__(self, node: "Node", name: Optional[str] = None) -> None:
         self.node = node
-        self.uid = next(_iface_uid)
+        self.uid = node.alloc_iface_uid()
         self.name = name or f"{node.name}.if{self.uid}"
         self.link: Optional[Link] = None
         self.addresses: List[Address] = []

@@ -18,6 +18,7 @@ agent) are composed in :mod:`repro.pimdm.router` and
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Dict, List, Optional, Set, Type
 
 from ..sim import RngRegistry, Simulator, Tracer
@@ -52,6 +53,7 @@ class Node:
         self.tracer = tracer
         self.rng = rng or RngRegistry()
         self.interfaces: List[Interface] = []
+        self._iface_uid = itertools.count(1)
         self.routing = RoutingTable()
         self._message_handlers: Dict[Type[Message], List[MessageHandler]] = {}
         self._option_handlers: Dict[Type[DestinationOption], List[OptionHandler]] = {}
@@ -67,6 +69,13 @@ class Node:
     # ------------------------------------------------------------------
     # interfaces & addresses
     # ------------------------------------------------------------------
+    def alloc_iface_uid(self) -> int:
+        """Next per-node interface uid.  Per-node (not process-global) so
+        auto-generated interface names depend only on the order this node
+        created its interfaces — a trace-determinism requirement for the
+        golden-trace suite."""
+        return next(self._iface_uid)
+
     def new_interface(self, name: Optional[str] = None) -> Interface:
         iface = Interface(self, name=name)
         self.interfaces.append(iface)

@@ -23,12 +23,30 @@ from typing import Iterable, Optional, Tuple, Union
 from .addressing import Address
 from .messages import Message
 
-__all__ = ["DestinationOption", "Ipv6Packet", "IPV6_HEADER_BYTES"]
+__all__ = [
+    "DestinationOption",
+    "Ipv6Packet",
+    "IPV6_HEADER_BYTES",
+    "reset_packet_uids",
+]
 
 #: Fixed IPv6 base header size (RFC 2460).
 IPV6_HEADER_BYTES = 40
 
 _packet_uid = itertools.count(1)
+
+
+def reset_packet_uids() -> None:
+    """Restart the packet uid counter at 1.
+
+    Called by :class:`repro.net.topology.Network` at construction so
+    packet uids — which appear in trace details — are a function of the
+    run, not of how many packets the process created before.  Uids are
+    only ever compared within one network's trace stream, so the
+    cross-network reuse this causes is harmless.
+    """
+    global _packet_uid
+    _packet_uid = itertools.count(1)
 
 
 class DestinationOption:

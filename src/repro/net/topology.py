@@ -19,6 +19,7 @@ from ..sim import RngRegistry, Simulator, Tracer
 from .addressing import Address, Prefix
 from .link import Link
 from .node import Node
+from .packet import reset_packet_uids
 from .routing import compute_router_fibs
 from .stats import NetworkStats
 
@@ -33,6 +34,7 @@ class Network:
         seed: int = 0,
         trace_link_events: bool = False,
     ) -> None:
+        reset_packet_uids()
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
         disabled = () if trace_link_events else ("link",)

@@ -20,6 +20,8 @@ See ``docs/OBSERVABILITY.md`` for the guided tour.
 from .export import (
     FORMAT_VERSION,
     TraceArchive,
+    digest_events,
+    event_record,
     export_run,
     import_run,
     read_events,
@@ -53,6 +55,8 @@ __all__ = [
     "TraceCollector",
     "TraceQueryMixin",
     "TraceStore",
+    "digest_events",
+    "event_record",
     "export_run",
     "import_run",
     "profiled",

@@ -30,6 +30,7 @@ module-level back-import here would be circular.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
 
@@ -38,6 +39,8 @@ from .store import TraceQueryMixin, TraceStore
 __all__ = [
     "FORMAT_VERSION",
     "TraceArchive",
+    "digest_events",
+    "event_record",
     "export_run",
     "import_run",
     "read_events",
@@ -60,6 +63,34 @@ def _jsonable(detail: Dict[str, Any]) -> Dict[str, Any]:
         else:
             out[key] = str(value)
     return out
+
+
+def event_record(event: Any) -> Dict[str, Any]:
+    """The schema-v1 JSONL record for one trace event."""
+    return {
+        "type": "event",
+        "time": event.time,
+        "category": event.category,
+        "node": event.node,
+        "detail": _jsonable(event.detail),
+    }
+
+
+def digest_events(events: Iterable[Any]) -> str:
+    """SHA-256 over the schema-v1 serialization of an event stream.
+
+    The digest covers the exact bytes :func:`export_run` writes per
+    event line (plus the format version), so two runs digest equal iff
+    their exported JSONL event streams are byte-for-byte identical —
+    the contract of the golden-trace regression suite
+    (``tests/goldens/``).
+    """
+    h = hashlib.sha256()
+    h.update(f"version:{FORMAT_VERSION}\n".encode())
+    for event in events:
+        h.update(json.dumps(event_record(event)).encode())
+        h.update(b"\n")
+    return h.hexdigest()
 
 
 def export_run(
@@ -89,17 +120,7 @@ def export_run(
             )
             fh.write("\n")
         for event in tracer.events:
-            fh.write(
-                json.dumps(
-                    {
-                        "type": "event",
-                        "time": event.time,
-                        "category": event.category,
-                        "node": event.node,
-                        "detail": _jsonable(event.detail),
-                    }
-                )
-            )
+            fh.write(json.dumps(event_record(event)))
             fh.write("\n")
             written += 1
     return written

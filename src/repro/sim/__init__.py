@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel: scheduler, timers, RNG, tracing."""
 
 from .kernel import Event, SimulationError, Simulator
-from .rng import RngRegistry
+from .rng import RngRegistry, derive_seed
 from .timers import PeriodicTimer, Timer
 from .trace import TraceEvent, Tracer
 
@@ -14,4 +14,5 @@ __all__ = [
     "Timer",
     "TraceEvent",
     "Tracer",
+    "derive_seed",
 ]

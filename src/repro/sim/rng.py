@@ -19,7 +19,24 @@ import hashlib
 import random
 from typing import Dict
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "derive_seed"]
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """Deterministic child seed for ``name`` under a master ``seed``.
+
+    The same SHA-256 derivation :class:`RngRegistry` uses for its named
+    streams, exposed so batch machinery (``repro.campaign``) can hand
+    every shard an independent, reproducible seed without coordinating
+    call order.
+
+    >>> derive_seed(0, "cell-1") == derive_seed(0, "cell-1")
+    True
+    >>> derive_seed(0, "cell-1") == derive_seed(1, "cell-1")
+    False
+    """
+    digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class RngRegistry:
@@ -41,8 +58,7 @@ class RngRegistry:
         """Return (creating if needed) the stream for ``name``."""
         rng = self._streams.get(name)
         if rng is None:
-            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
-            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            rng = random.Random(derive_seed(self.seed, name))
             self._streams[name] = rng
         return rng
 

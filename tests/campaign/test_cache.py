@@ -1,0 +1,154 @@
+"""Cache-key invalidation and disk-cache behaviour.
+
+The contract: a cache key must change whenever *anything* that could
+change the result changes — any parameter value, the seed, the cache
+schema version, the code version, the task name — and must NOT change
+for representation-only differences such as dict insertion order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.campaign import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cache_key,
+    code_version,
+)
+
+#: A representative fully-resolved parameter set (one per value shape).
+BASE_PARAMS = {
+    "approach": "local",
+    "seed": 3,
+    "move_at": 40.0,
+    "unsolicited": True,
+    "mld": {"query_interval": 125.0, "robustness": 2},
+    "links": ["L4", "L6"],
+}
+
+#: A distinct same-type replacement for every base value, including one
+#: per nested field — so the sweep below proves *every* field matters.
+PERTURBATIONS = {
+    "approach": "bidir",
+    "seed": 4,
+    "move_at": 41.0,
+    "unsolicited": False,
+    "mld": {"query_interval": 60.0, "robustness": 2},
+    "links": ["L4", "L5"],
+}
+
+
+class TestCacheKeyInvalidation:
+    def test_every_field_change_changes_the_key(self):
+        base = cache_key("comparison.receiver", BASE_PARAMS)
+        for name, new_value in PERTURBATIONS.items():
+            changed = {**BASE_PARAMS, name: new_value}
+            assert cache_key("comparison.receiver", changed) != base, name
+
+    def test_nested_field_change_changes_the_key(self):
+        base = cache_key("comparison.receiver", BASE_PARAMS)
+        nested = {**BASE_PARAMS, "mld": {**BASE_PARAMS["mld"], "robustness": 3}}
+        assert cache_key("comparison.receiver", nested) != base
+
+    def test_added_and_removed_fields_change_the_key(self):
+        base = cache_key("comparison.receiver", BASE_PARAMS)
+        extra = {**BASE_PARAMS, "settle": 30.0}
+        fewer = {k: v for k, v in BASE_PARAMS.items() if k != "links"}
+        assert cache_key("comparison.receiver", extra) != base
+        assert cache_key("comparison.receiver", fewer) != base
+
+    def test_task_name_changes_the_key(self):
+        assert cache_key("comparison.receiver", BASE_PARAMS) != cache_key(
+            "comparison.sender", BASE_PARAMS
+        )
+
+    def test_schema_version_changes_the_key(self):
+        base = cache_key("t", BASE_PARAMS)
+        bumped = cache_key("t", BASE_PARAMS, schema_version=CACHE_SCHEMA_VERSION + 1)
+        assert bumped != base
+
+    def test_code_version_changes_the_key(self):
+        base = cache_key("t", BASE_PARAMS)
+        other = cache_key("t", BASE_PARAMS, code="f" * 64)
+        assert other != base
+
+    def test_dict_insertion_order_does_not_matter(self):
+        keys = {
+            cache_key("t", dict(order))
+            for order in itertools.permutations(BASE_PARAMS.items())
+        }
+        assert len(keys) == 1
+
+    def test_nested_dict_order_does_not_matter(self):
+        a = {**BASE_PARAMS, "mld": {"query_interval": 10.0, "robustness": 2}}
+        b = {**BASE_PARAMS, "mld": {"robustness": 2, "query_interval": 10.0}}
+        assert cache_key("t", a) == cache_key("t", b)
+
+    def test_type_distinctions_survive(self):
+        # JSON canonicalization must not conflate 1 and "1".
+        assert cache_key("t", {"x": 1}) != cache_key("t", {"x": "1"})
+
+    def test_code_version_is_a_memoized_digest(self):
+        v = code_version()
+        assert len(v) == 64 and int(v, 16) >= 0
+        assert code_version() is v
+
+
+class TestResultCache:
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("selftest.echo", {"seed": 1})
+        stored = cache.put(key, "selftest.echo", {"seed": 1}, {"draw": 0.25}, 0.01)
+        hit = cache.get(key)
+        assert hit == stored
+        # The on-disk form is canonical JSON; a re-put writes identical bytes.
+        raw = cache.path_for(key).read_bytes()
+        cache.put(key, "selftest.echo", {"seed": 1}, {"draw": 0.25}, 0.01)
+        assert cache.path_for(key).read_bytes() == raw
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        assert ResultCache(tmp_path).get("ab" * 32) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("t", {"seed": 0})
+        cache.put(key, "t", {"seed": 0}, {"ok": True}, 0.0)
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        """An entry renamed onto the wrong key must not be served."""
+        cache = ResultCache(tmp_path)
+        key = cache_key("t", {"seed": 0})
+        other = cache_key("t", {"seed": 1})
+        cache.put(key, "t", {"seed": 0}, {"ok": True}, 0.0)
+        target = cache.path_for(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(cache.path_for(key).read_text())
+        assert cache.get(other) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("t", {"seed": 0})
+        payload = cache.put(key, "t", {"seed": 0}, {"ok": True}, 0.0)
+        stale = {**payload, "version": CACHE_SCHEMA_VERSION + 1}
+        cache.path_for(key).write_text(json.dumps(stale))
+        assert cache.get(key) is None
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        for seed in range(3):
+            key = cache_key("t", {"seed": seed})
+            cache.put(key, "t", {"seed": seed}, {}, 0.0)
+        assert len(cache) == 3
+
+    def test_file_as_cache_root_is_rejected(self, tmp_path):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("")
+        with pytest.raises(NotADirectoryError):
+            ResultCache(bogus)

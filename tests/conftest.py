@@ -9,6 +9,21 @@ from repro.sim import Simulator
 from topo_helpers import LineTopology, build_line
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate the committed golden-trace digests under "
+        "tests/goldens/ instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

@@ -1,0 +1,90 @@
+"""Golden-trace regression suite.
+
+Every Figure 2-4 scenario (the canned runs in
+:mod:`repro.core.goldens`) has a committed digest of its full trace
+event stream under ``tests/goldens/``, computed over the schema-v1
+JSONL serialization of :mod:`repro.obs.export`.  These tests re-run
+each scenario and compare digests byte-for-byte, so *any* behavioural
+drift — one extra packet, one reordered timer, one changed detail
+field — fails loudly.
+
+After an intentional behaviour change, regenerate the digests with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-goldens
+
+and commit the updated ``tests/goldens/*.json`` together with the
+change that caused them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.core.goldens import run_canned
+from repro.obs import FORMAT_VERSION, digest_events
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: (scenario, seed) pairs with committed digests.
+CASES = (("fig2", 0), ("fig3", 0), ("fig4", 0))
+
+
+def golden_record(name: str, seed: int) -> dict:
+    sc = run_canned(name, seed=seed)
+    events = sc.net.tracer.events
+    return {
+        "scenario": name,
+        "seed": seed,
+        "schema_version": FORMAT_VERSION,
+        "events": len(events),
+        "digest": digest_events(events),
+    }
+
+
+@pytest.mark.parametrize("name,seed", CASES)
+def test_golden_trace(name: str, seed: int, update_goldens: bool) -> None:
+    record = golden_record(name, seed)
+    path = GOLDEN_DIR / f"{name}-seed{seed}.json"
+    if update_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden {path}; run pytest with --update-goldens to create it"
+    )
+    golden = json.loads(path.read_text())
+    assert record == golden, (
+        f"{name} trace drifted from the committed golden.  If this change "
+        "in behaviour is intentional, regenerate with: PYTHONPATH=src "
+        "python -m pytest tests/test_golden_traces.py --update-goldens"
+    )
+
+
+def test_digest_catches_single_event_perturbation() -> None:
+    """A one-event change anywhere in the stream must change the digest."""
+    sc = run_canned("fig3", seed=0)
+    events = list(sc.net.tracer.events)
+    baseline = digest_events(events)
+
+    # Perturb one event's timestamp by a femtosecond-scale amount.
+    mid = len(events) // 2
+    perturbed = events.copy()
+    perturbed[mid] = replace(perturbed[mid], time=perturbed[mid].time + 1e-9)
+    assert digest_events(perturbed) != baseline
+
+    # Dropping a single event is also caught.
+    assert digest_events(events[:-1]) != baseline
+
+    # And the digest is a pure function of the stream.
+    assert digest_events(events) == baseline
+
+
+def test_golden_reruns_are_process_independent() -> None:
+    """Two fresh runs of the same scenario digest identically."""
+    a = golden_record("fig3", 0)
+    b = golden_record("fig3", 0)
+    assert a == b
