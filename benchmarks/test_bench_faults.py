@@ -1,0 +1,49 @@
+"""EXP-R resilience benchmark — the repro.faults loss sweep.
+
+Runs the wireless-loss resilience grid (3 loss rates × local vs
+bi-directional tunnel) through the campaign engine and records the
+resilience table under ``benchmarks/results/faults_resilience.txt``.
+
+Asserts the subsystem's qualitative claim: under burst loss the tunnel
+approach (1 s Binding Update retransmission) recovers faster and
+delivers more than local membership (10 s MLD unsolicited-Report
+cadence), while the zero-loss row is approach-neutral.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import CampaignRunner
+from repro.core.strategies import BIDIRECTIONAL_TUNNEL, LOCAL_MEMBERSHIP
+from repro.faults.experiments import render_fault_table, run_fault_sweep
+
+from bench_utils import once, save_report
+
+LOSS_RATES = (0.0, 0.01, 0.05)
+APPROACHES = (LOCAL_MEMBERSHIP, BIDIRECTIONAL_TUNNEL)
+
+
+def test_bench_faults_loss_sweep(benchmark):
+    rows = once(
+        benchmark,
+        run_fault_sweep,
+        loss_rates=LOSS_RATES,
+        approaches=APPROACHES,
+        seed=0,
+        runner=CampaignRunner(jobs=1, master_seed=0),
+    )
+    assert len(rows) == len(LOSS_RATES) * len(APPROACHES)
+    by = {(r["approach"], r["loss_rate"]): r for r in rows}
+
+    # zero loss: no faults fire, recovery is the bare handoff pipeline
+    assert by[("local", 0.0)]["faults_fired"] == 0
+    assert abs(
+        by[("local", 0.0)]["recovery_time"] - by[("bidir", 0.0)]["recovery_time"]
+    ) < 0.05
+
+    # the qualitative separation the paper's machinery predicts
+    for rate in LOSS_RATES[1:]:
+        local, bidir = by[("local", rate)], by[("bidir", rate)]
+        assert bidir["recovery_time"] < local["recovery_time"]
+        assert bidir["delivery_ratio"] > local["delivery_ratio"]
+
+    save_report("faults_resilience", render_fault_table(rows))

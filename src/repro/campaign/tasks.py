@@ -15,6 +15,8 @@ Registered tasks:
 ``scaling.mobiles``      HA load for one mobile-host count
 ``scaling.groups``       HA load for one group count
 ``scaling.rate``         HA load for one source rate
+``faults.receiver``      one resilience row under wireless loss
+``faults.ha_crash``      one resilience row under a home-agent crash
 ``selftest.echo``        cheap deterministic no-sim task (tests)
 =====================  ==============================================
 
@@ -197,6 +199,64 @@ def scaling_rate(
 
     return ha_load_rate_cell(
         packet_interval, seed=seed, measure_window=measure_window
+    )
+
+
+# ----------------------------------------------------------------------
+# repro.faults resilience cells
+# ----------------------------------------------------------------------
+
+@register_task("faults.receiver")
+def faults_receiver(
+    approach: str,
+    seed: int = 0,
+    loss_rate: float = 0.02,
+    model: str = "gilbert",
+    move_link: str = "L6",
+    move_at: float = 40.0,
+    fault_at: float = 32.0,
+    handoff_blackout: float = 2.0,
+    run_until: float = 90.0,
+    packet_interval: float = 0.05,
+) -> Dict[str, Any]:
+    from ..faults.experiments import loss_receiver_run
+
+    return loss_receiver_run(
+        _approach(approach),
+        seed=seed,
+        loss_rate=loss_rate,
+        model=model,
+        move_link=move_link,
+        move_at=move_at,
+        fault_at=fault_at,
+        handoff_blackout=handoff_blackout,
+        run_until=run_until,
+        packet_interval=packet_interval,
+    )
+
+
+@register_task("faults.ha_crash")
+def faults_ha_crash(
+    approach: str,
+    seed: int = 0,
+    move_link: str = "L6",
+    move_at: float = 40.0,
+    crash_at: float = 45.0,
+    crash_duration: float = 15.0,
+    run_until: float = 110.0,
+    packet_interval: float = 0.05,
+) -> Dict[str, Any]:
+    from ..faults.experiments import ha_crash_run
+
+    return ha_crash_run(
+        _approach(approach),
+        seed=seed,
+        move_link=move_link,
+        move_at=move_at,
+        crash_at=crash_at,
+        crash_duration=crash_duration,
+        run_until=run_until,
+        packet_interval=packet_interval,
     )
 
 

@@ -17,6 +17,12 @@ Campaigns (see docs/CAMPAIGNS.md)::
     python -m repro sweep timers --intervals 10 25 --repeats 2 --jobs 2
     python -m repro sweep scaling --json
 
+Fault injection (see docs/FAULTS.md)::
+
+    python -m repro faults                         # loss sweep, 4 approaches
+    python -m repro faults --scenario ha-crash     # home-agent crash study
+    python -m repro faults --loss 0.0 0.02 --jobs 4 --json
+
 Observability (see docs/OBSERVABILITY.md)::
 
     python -m repro trace --export run.jsonl   # run + persist the trace
@@ -356,6 +362,73 @@ def _sweep(args: argparse.Namespace) -> None:
         print(registry.render_prometheus(), end="")
 
 
+def _faults(args: argparse.Namespace) -> None:
+    from .faults.experiments import (
+        render_crash_table,
+        render_fault_table,
+        run_crash_study,
+        run_fault_sweep,
+    )
+    from .faults.resilience import publish_resilience
+
+    by_key = {a.key: a for a in ALL_APPROACHES}
+    unknown = [k for k in args.approaches if k not in by_key]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown approach(es) {', '.join(unknown)}; "
+            f"known: {', '.join(by_key)}"
+        )
+    approaches = tuple(by_key[k] for k in args.approaches)
+    for rate in args.loss:
+        if not 0.0 <= rate < 1.0:
+            raise SystemExit(f"error: --loss rates must be in [0, 1), got {rate}")
+
+    registry = MetricsRegistry()
+    runner = _campaign_runner(args, registry)
+    payload: Dict[str, Any] = {
+        "experiment": "faults",
+        "scenario": args.scenario,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir,
+    }
+    sections = []
+    rows = []
+    if args.scenario in ("loss", "both"):
+        loss_rows = run_fault_sweep(
+            loss_rates=tuple(args.loss),
+            approaches=approaches,
+            seed=args.seed,
+            model=args.model,
+            runner=runner,
+        )
+        payload["loss_rows"] = loss_rows
+        rows += loss_rows
+        sections.append(render_fault_table(loss_rows))
+    if args.scenario in ("ha-crash", "both"):
+        crash_rows = run_crash_study(
+            approaches=approaches, seed=args.seed, runner=runner
+        )
+        payload["crash_rows"] = crash_rows
+        rows += crash_rows
+        sections.append(render_crash_table(crash_rows))
+
+    publish_resilience(registry, rows)
+    stats = runner.stats()
+    payload["campaign"] = stats
+    if args.json:
+        _print_json(payload)
+        return
+    print("\n\n".join(sections))
+    print(
+        f"\ncampaign: {stats['cells']} cells, {stats['executed']} executed, "
+        f"{stats['cached']} cached, jobs={stats['jobs']}, "
+        f"wall {stats['wall_clock']:.1f}s"
+    )
+    if args.metrics:
+        print(registry.render_prometheus(), end="")
+
+
 # ----------------------------------------------------------------------
 # observability commands
 # ----------------------------------------------------------------------
@@ -503,6 +576,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "timers": _timers,
     "scaling": _scaling,
     "sweep": _sweep,
+    "faults": _faults,
     "report": _report,
     "trace": _trace,
     "profile": _profile,
@@ -557,6 +631,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print campaign metrics (Prometheus text)")
     sweep.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+    faults = sub.add_parser(
+        "faults",
+        help="resilience under injected faults: loss sweeps and home-agent "
+        "crashes through the campaign engine (see docs/FAULTS.md)",
+    )
+    faults.add_argument("--scenario", choices=("loss", "ha-crash", "both"),
+                        default="loss",
+                        help="which fault study to run (default: loss)")
+    faults.add_argument("--loss", type=float, nargs="+",
+                        default=[0.0, 0.01, 0.05],
+                        help="mean loss rates for the wireless-loss sweep")
+    faults.add_argument("--model", choices=("gilbert", "bernoulli"),
+                        default="gilbert",
+                        help="loss process on the wireless link")
+    faults.add_argument("--approaches", nargs="+",
+                        default=[a.key for a in ALL_APPROACHES],
+                        metavar="KEY",
+                        help="delivery approaches to compare "
+                        f"(default: {' '.join(a.key for a in ALL_APPROACHES)})")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="campaign master seed")
+    faults.add_argument("--jobs", type=int, default=1,
+                        help="worker processes to shard cells across")
+    faults.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache completed cells here")
+    faults.add_argument("--metrics", action="store_true",
+                        help="also print resilience metrics (Prometheus text)")
+    faults.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
     timers = sub.add_parser("timers", help="§4.4 MLD timer sweep")
     timers.add_argument("--seed", type=int, default=0)
     timers.add_argument("--intervals", type=float, nargs="+",

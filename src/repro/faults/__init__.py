@@ -1,0 +1,50 @@
+"""repro.faults — deterministic fault injection & resilience measurement.
+
+Declarative :class:`FaultPlan` schedules (link outages, Gilbert–Elliott
+loss bursts, node crash/restart, handover blackouts), a
+:class:`FaultInjector` that drives a plan off the simulator clock while
+emitting ``fault`` trace events, resilience metrics (recovery time,
+delivery/duplicate ratios, outage, control overhead), and canned
+experiments over the Figure 1 network that shard through
+:mod:`repro.campaign`.
+"""
+
+from .inject import FaultInjector
+from .plan import (
+    FaultEvent,
+    FaultPlan,
+    gilbert_loss,
+    handover_blackout,
+    link_down,
+    link_up,
+    loss_burst,
+    node_crash,
+    node_restart,
+)
+from .resilience import (
+    delivery_stats,
+    duplicate_stats,
+    expected_seqnos,
+    longest_outage,
+    publish_resilience,
+    recovery_time,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "delivery_stats",
+    "duplicate_stats",
+    "expected_seqnos",
+    "gilbert_loss",
+    "handover_blackout",
+    "link_down",
+    "link_up",
+    "longest_outage",
+    "loss_burst",
+    "node_crash",
+    "node_restart",
+    "publish_resilience",
+    "recovery_time",
+]

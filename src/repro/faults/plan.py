@@ -1,0 +1,254 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered, validated list of
+:class:`FaultEvent` records — plain data (JSON-able), so plans can ride
+inside picklable campaign-cell parameters and hash into the result
+cache.  The :class:`~repro.faults.inject.FaultInjector` schedules the
+events on the simulator clock; all randomness (loss draws) comes from
+the network's seeded RNG streams, so the same master seed and the same
+plan reproduce the same run bit-for-bit.
+
+Event kinds
+===========
+
+=================  ====================================================
+``link-down``      administratively down: every frame dropped
+``link-up``        restore the link
+``loss-start``     install a loss model (``params["model"]``:
+                   ``bernoulli`` or ``gilbert``; see
+                   :func:`repro.net.loss.loss_model_from_jsonable`)
+``loss-stop``      restore the loss model active before ``loss-start``
+``node-crash``     drop all packets + cancel protocol timers
+``node-restart``   cold protocol restart
+``blackout``       a mobile host loses the radio for
+                   ``params["duration"]`` s, then re-attaches
+=================  ====================================================
+
+Factory helpers (:func:`link_down`, :func:`loss_burst`,
+:func:`gilbert_loss`, :func:`node_crash`, :func:`handover_blackout`)
+build matched event groups — e.g. a crash with ``duration`` emits the
+restart automatically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..net.loss import loss_model_from_jsonable
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "LINK_KINDS",
+    "NODE_KINDS",
+    "HOST_KINDS",
+    "gilbert_loss",
+    "handover_blackout",
+    "link_down",
+    "link_up",
+    "loss_burst",
+    "node_crash",
+    "node_restart",
+]
+
+LINK_KINDS = frozenset({"link-down", "link-up", "loss-start", "loss-stop"})
+NODE_KINDS = frozenset({"node-crash", "node-restart"})
+HOST_KINDS = frozenset({"blackout"})
+ALL_KINDS = LINK_KINDS | NODE_KINDS | HOST_KINDS
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: apply ``kind`` to ``target`` at ``at``."""
+
+    at: float
+    kind: str
+    target: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.kind not in ALL_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(ALL_KINDS)}"
+            )
+        if not self.target:
+            raise ValueError("fault target must be a non-empty name")
+        try:
+            json.dumps(self.params, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"fault params must be JSON-able: {exc}") from exc
+        if self.kind == "loss-start":
+            # Fail at plan-construction time, not mid-simulation.
+            loss_model_from_jsonable(self.params)
+        if self.kind == "blackout":
+            duration = self.params.get("duration")
+            if not isinstance(duration, (int, float)) or duration <= 0:
+                raise ValueError("blackout requires params['duration'] > 0")
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "target": self.target,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            at=data["at"],
+            kind=data["kind"],
+            target=data["target"],
+            params=dict(data.get("params", {})),
+        )
+
+
+class FaultPlan:
+    """An immutable, time-sorted collection of fault events.
+
+    Accepts events and/or iterables of events (the factory helpers
+    return tuples), so plans compose naturally::
+
+        plan = FaultPlan(
+            loss_burst(32.0, "L6", rate=0.05),
+            node_crash(45.0, "D", duration=15.0),
+        )
+    """
+
+    def __init__(self, *items: Any) -> None:
+        events: List[FaultEvent] = []
+        for item in items:
+            if isinstance(item, FaultEvent):
+                events.append(item)
+            elif isinstance(item, Iterable):
+                for sub in item:
+                    if not isinstance(sub, FaultEvent):
+                        raise TypeError(f"not a FaultEvent: {sub!r}")
+                    events.append(sub)
+            else:
+                raise TypeError(f"not a FaultEvent: {item!r}")
+        # Stable sort: simultaneous events keep their plan order.
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: e.at)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self.events == other.events
+
+    def targets(self) -> List[str]:
+        return sorted({e.target for e in self.events})
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        return [e.to_jsonable() for e in self.events]
+
+    @classmethod
+    def from_jsonable(cls, data: Optional[Iterable[Dict[str, Any]]]) -> "FaultPlan":
+        if data is None:
+            return cls()
+        return cls([FaultEvent.from_jsonable(d) for d in data])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan {len(self.events)} events on {self.targets()}>"
+
+
+# ----------------------------------------------------------------------
+# factory helpers
+# ----------------------------------------------------------------------
+
+def link_down(
+    at: float, link: str, duration: Optional[float] = None
+) -> Tuple[FaultEvent, ...]:
+    """Take ``link`` down at ``at``; back up after ``duration`` (if set)."""
+    events = [FaultEvent(at, "link-down", link)]
+    if duration is not None:
+        if duration <= 0:
+            raise ValueError("link_down duration must be positive")
+        events.append(FaultEvent(at + duration, "link-up", link))
+    return tuple(events)
+
+
+def link_up(at: float, link: str) -> Tuple[FaultEvent, ...]:
+    return (FaultEvent(at, "link-up", link),)
+
+
+def loss_burst(
+    at: float, link: str, rate: float, duration: Optional[float] = None
+) -> Tuple[FaultEvent, ...]:
+    """Bernoulli loss at ``rate`` on ``link`` from ``at`` (optionally
+    bounded: the prior loss model is restored after ``duration``)."""
+    events = [
+        FaultEvent(at, "loss-start", link, {"model": "bernoulli", "rate": rate})
+    ]
+    if duration is not None:
+        if duration <= 0:
+            raise ValueError("loss_burst duration must be positive")
+        events.append(FaultEvent(at + duration, "loss-stop", link))
+    return tuple(events)
+
+
+def gilbert_loss(
+    at: float,
+    link: str,
+    rate: Optional[float] = None,
+    duration: Optional[float] = None,
+    p_good_to_bad: Optional[float] = None,
+    p_bad_to_good: float = 0.25,
+    loss_good: float = 0.0,
+    loss_bad: float = 0.9,
+) -> Tuple[FaultEvent, ...]:
+    """Gilbert–Elliott burst loss on ``link``.
+
+    Give either a target mean ``rate`` (the model is solved to match,
+    see :func:`repro.net.loss.gilbert_for_mean_loss`) or the raw
+    transition probability ``p_good_to_bad``.
+    """
+    params: Dict[str, Any] = {
+        "model": "gilbert",
+        "p_bad_to_good": p_bad_to_good,
+        "loss_good": loss_good,
+        "loss_bad": loss_bad,
+    }
+    if (rate is None) == (p_good_to_bad is None):
+        raise ValueError("give exactly one of rate / p_good_to_bad")
+    if rate is not None:
+        params["rate"] = rate
+    else:
+        params["p_good_to_bad"] = p_good_to_bad
+    events = [FaultEvent(at, "loss-start", link, params)]
+    if duration is not None:
+        if duration <= 0:
+            raise ValueError("gilbert_loss duration must be positive")
+        events.append(FaultEvent(at + duration, "loss-stop", link))
+    return tuple(events)
+
+
+def node_crash(
+    at: float, node: str, duration: Optional[float] = None
+) -> Tuple[FaultEvent, ...]:
+    """Crash ``node`` at ``at``; cold-restart after ``duration`` (if set)."""
+    events = [FaultEvent(at, "node-crash", node)]
+    if duration is not None:
+        if duration <= 0:
+            raise ValueError("node_crash duration must be positive")
+        events.append(FaultEvent(at + duration, "node-restart", node))
+    return tuple(events)
+
+
+def node_restart(at: float, node: str) -> Tuple[FaultEvent, ...]:
+    return (FaultEvent(at, "node-restart", node),)
+
+
+def handover_blackout(at: float, host: str, duration: float) -> Tuple[FaultEvent, ...]:
+    """Radio blackout: ``host`` detaches at ``at`` and re-attaches to the
+    same link after ``duration`` via the normal handoff pipeline."""
+    return (FaultEvent(at, "blackout", host, {"duration": duration}),)

@@ -64,6 +64,28 @@ class HomeAgent(MulticastRouter):
         self._binding_request_events: Dict[Address, object] = {}
 
     # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash loses the binding cache (it is soft state rebuilt from
+        Binding Updates).  PIM/MLD are silenced first so the teardown
+        emits no Prunes or Done messages — a crashed router says
+        nothing; recovery is driven by the mobile nodes' refreshes and
+        retransmissions."""
+        super().crash()  # silences PIM before bindings are torn down
+        for entry in list(self.binding_cache.entries()):
+            self.binding_cache.remove(entry.home_address)
+            home_iface = self.home_iface_for(entry.home_address)
+            if home_iface is not None and home_iface.link is not None:
+                if home_iface.link.resolve(entry.home_address) is home_iface:
+                    home_iface.link.unregister_address(entry.home_address)
+        self._group_refcount.clear()
+        for event in self._binding_request_events.values():
+            if event.pending:
+                event.cancel()
+        self._binding_request_events.clear()
+
+    # ------------------------------------------------------------------
     # home-link discovery
     # ------------------------------------------------------------------
     def home_iface_for(self, home_address: Address) -> Optional[Interface]:

@@ -352,6 +352,35 @@ class MobileNode(Host):
             label=f"{self.name}.attach",
         )
 
+    def blackout(self, duration: float) -> None:
+        """Handover blackout (repro.faults): lose the radio for
+        ``duration`` seconds, then re-attach to the same link and run
+        the normal handoff pipeline (movement detection, care-of
+        address configuration, Binding Update).  Frames sent to the
+        node meanwhile are lost in flight."""
+        if duration <= 0:
+            raise ValueError("blackout duration must be positive")
+        link = self.current_link
+        if link is None:
+            return  # already detached (mid-handoff); nothing to do
+        self.trace(
+            "mobility", event="blackout", link=link.name, duration=duration
+        )
+        self._active_source = self.current_source_address()
+        self._cancel_binding_timers()
+        self.iface.detach()
+        self.iface.clear_addresses()
+        self.current_link = None
+        self.care_of_address = None
+        self._move_seq += 1
+        self.sim.schedule(
+            duration,
+            self._attach,
+            link,
+            self._move_seq,
+            label=f"{self.name}.attach",
+        )
+
     def _attach(self, link: Link, seq: int) -> None:
         if seq != self._move_seq:
             return  # superseded by a newer move while detached

@@ -85,6 +85,21 @@ class MldRouter:
             if iface.attached:
                 self.manage_interface(iface)
 
+    def shutdown(self) -> None:
+        """Crash support: stop every timer and discard all querier and
+        membership state, so a subsequent :meth:`start` is a cold boot.
+        No Done/notification signaling — a crashed router is silent."""
+        for state in self._ifaces.values():
+            if state.query_timer is not None:
+                state.query_timer.stop()
+            if state.other_querier_timer is not None:
+                state.other_querier_timer.stop()
+        self._ifaces.clear()
+        for record in self._memberships.values():
+            if record.timer is not None:
+                record.timer.stop()
+        self._memberships.clear()
+
     def manage_interface(self, iface: Interface) -> None:
         if iface.uid in self._ifaces:
             return

@@ -12,6 +12,12 @@ from .addressing import (
 )
 from .interface import Interface
 from .link import Link
+from .loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    gilbert_for_mean_loss,
+    loss_model_from_jsonable,
+)
 from .messages import ApplicationData, ControlPayload, Message
 from .node import Host, Node
 from .packet import IPV6_HEADER_BYTES, DestinationOption, Ipv6Packet
@@ -26,9 +32,11 @@ __all__ = [
     "UNSPECIFIED",
     "Address",
     "ApplicationData",
+    "BernoulliLoss",
     "CATEGORIES",
     "ControlPayload",
     "DestinationOption",
+    "GilbertElliottLoss",
     "Host",
     "IPV6_HEADER_BYTES",
     "Interface",
@@ -44,6 +52,8 @@ __all__ = [
     "RoutingTable",
     "classify_packet",
     "compute_router_fibs",
+    "gilbert_for_mean_loss",
     "is_multicast",
+    "loss_model_from_jsonable",
     "make_multicast_group",
 ]

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..sim import Simulator, Tracer
 from .addressing import Address, Prefix
+from .loss import BernoulliLoss
 from .packet import Ipv6Packet
 from .stats import NetworkStats
 
@@ -52,8 +53,6 @@ class Link:
             raise ValueError("delay must be non-negative")
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError("loss_rate must be in [0, 1)")
         self.sim = sim
         self.name = name
         self.prefix = Prefix(prefix)
@@ -61,17 +60,77 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.tracer = tracer
         self.stats = stats
-        #: per-receiver frame loss probability (models a lossy wireless
-        #: cell; the robustness machinery of MLD/Mobile IPv6 — repeated
-        #: unsolicited Reports, Binding Update retransmission — exists
-        #: for exactly this)
-        self.loss_rate = loss_rate
+        #: retained so a loss model can be installed (or the loss rate
+        #: mutated) after construction with a deterministic stream
+        self._rng = rng
         self._loss_rng = rng.stream(f"link.loss.{name}") if rng else None
+        #: pluggable frame-loss model (models a lossy wireless cell; the
+        #: robustness machinery of MLD/Mobile IPv6 — repeated unsolicited
+        #: Reports, Binding Update retransmission — exists for exactly
+        #: this).  ``None`` means lossless.
+        self._loss_model = None
+        self.loss_rate = loss_rate
         self.frames_lost = 0
+        #: administrative state: a down link drops every frame
+        #: (fault injection: LinkDown/LinkUp events)
+        self.up = True
         self.interfaces: List["Interface"] = []
         #: neighbor cache: address -> owning interface (plus proxy entries)
         self._neighbor_cache: Dict[Address, "Interface"] = {}
         self._busy_until = 0.0
+
+    # ------------------------------------------------------------------
+    # loss model & administrative state
+    # ------------------------------------------------------------------
+    @property
+    def loss_rate(self) -> float:
+        """Effective mean frame-loss probability of the current model."""
+        return 0.0 if self._loss_model is None else self._loss_model.mean_loss
+
+    @loss_rate.setter
+    def loss_rate(self, rate: float) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if rate == 0.0:
+            self._loss_model = None
+            return
+        self._require_loss_rng()
+        self._loss_model = BernoulliLoss(rate)
+
+    @property
+    def loss_model(self):
+        return self._loss_model
+
+    def set_loss_model(self, model) -> None:
+        """Install a frame-loss model (``None`` restores losslessness)."""
+        if model is not None:
+            self._require_loss_rng()
+        self._loss_model = model
+
+    def _require_loss_rng(self) -> None:
+        """Create the loss stream lazily — deterministically named, so a
+        post-construction mutation draws the same sequence a
+        construction-time ``loss_rate`` would have."""
+        if self._loss_rng is not None:
+            return
+        if self._rng is None:
+            raise ValueError(
+                f"link {self.name!r} has no RNG registry; "
+                "construct it with rng= to enable frame loss"
+            )
+        self._loss_rng = self._rng.stream(f"link.loss.{self.name}")
+
+    def set_down(self) -> None:
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def _drop(self, reason: str, **detail) -> None:
+        if self.stats is not None:
+            self.stats.account_drop(self.name, reason)
+        if self.tracer is not None:
+            self.tracer.record("drop", self.name, reason=reason, **detail)
 
     # ------------------------------------------------------------------
     # attachment & address resolution
@@ -125,6 +184,14 @@ class Link:
         """
         if sender not in self.interfaces:
             return  # interface went down before the send fired
+        if getattr(sender.node, "crashed", False):
+            # A crashed node transmits nothing — stray callbacks scheduled
+            # before the crash (raw events, not cancellable timers) die here.
+            self._drop("node-crashed", dst=str(packet.dst))
+            return
+        if not self.up:
+            self._drop("link-down", dst=str(packet.dst))
+            return
         if l2_dst is None and not packet.dst.is_multicast:
             # Unicast frames need a resolved link-layer destination; an
             # unresolvable neighbor (e.g. a stale care-of address after
@@ -132,10 +199,7 @@ class Link:
             # Flooding unicast frames would bounce them between routers.
             l2_dst = self.resolve(packet.dst)
             if l2_dst is None:
-                if self.tracer is not None:
-                    self.tracer.record(
-                        "drop", self.name, reason="nd-failure", dst=str(packet.dst)
-                    )
+                self._drop("nd-failure", dst=str(packet.dst))
                 return
         if self.stats is not None:
             self.stats.account(self.name, packet)
@@ -170,17 +234,23 @@ class Link:
         # frame was in flight; such frames are lost, which is exactly the
         # packet loss during handoff the paper's join-delay metric counts.
         if iface not in self.interfaces:
+            if self.stats is not None:
+                self.stats.account_drop(self.name, "receiver-detached")
             return
-        if (
-            self.loss_rate > 0.0
-            and self._loss_rng is not None
-            and self._loss_rng.random() < self.loss_rate
+        if not self.up:
+            # The link went down while the frame was in flight.
+            self._drop("link-down", receiver=iface.node.name)
+            return
+        if getattr(iface.node, "crashed", False):
+            # Checked before the loss draw so fault-free runs consume an
+            # identical RNG sequence whether or not crashes are plausible.
+            self._drop("node-crashed", receiver=iface.node.name)
+            return
+        if self._loss_model is not None and self._loss_model.should_drop(
+            self._loss_rng
         ):
             self.frames_lost += 1
-            if self.tracer is not None:
-                self.tracer.record(
-                    "drop", self.name, reason="link-loss", receiver=iface.node.name
-                )
+            self._drop("link-loss", receiver=iface.node.name)
             return
         iface.deliver(packet)
 

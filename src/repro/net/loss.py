@@ -1,0 +1,190 @@
+"""Frame-loss models for links.
+
+The seed implementation modelled a lossy wireless cell with a single
+Bernoulli ``loss_rate`` knob on :class:`~repro.net.link.Link`.  The
+fault-injection subsystem (``repro.faults``) generalizes that into
+pluggable loss models:
+
+* :class:`BernoulliLoss` — independent per-frame loss, the original
+  behaviour (and the model the ``loss_rate`` property still exposes),
+* :class:`GilbertElliottLoss` — the classic two-state burst-loss model
+  (Gilbert 1960, Elliott 1963): a *good* state with low loss and a
+  *bad* state with high loss, with per-frame transition probabilities.
+  Wireless fading produces correlated losses, which is exactly what
+  stresses MLD's Robustness Variable and PIM-DM Graft retransmission
+  differently from independent drops.
+
+Every model consumes draws from the link's dedicated RNG stream
+(``link.loss.<name>``), so runs are deterministic per seed and
+independent across links.  :class:`BernoulliLoss` draws exactly once
+per frame — the draw sequence of the seed implementation is preserved
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = [
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "gilbert_for_mean_loss",
+    "loss_model_from_jsonable",
+]
+
+
+def _check_probability(name: str, value: float, upper_inclusive: bool = True) -> float:
+    value = float(value)
+    if upper_inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 <= value < 1.0:
+            raise ValueError(f"{name} must be in [0, 1), got {value}")
+    return value
+
+
+class BernoulliLoss:
+    """Independent per-frame loss with fixed probability ``rate``."""
+
+    def __init__(self, rate: float) -> None:
+        self.rate = _check_probability("rate", rate, upper_inclusive=False)
+
+    def should_drop(self, rng) -> bool:
+        """One draw per frame — preserves the legacy draw sequence."""
+        return rng.random() < self.rate
+
+    @property
+    def mean_loss(self) -> float:
+        return self.rate
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {"model": "bernoulli", "rate": self.rate}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BernoulliLoss rate={self.rate}>"
+
+
+class GilbertElliottLoss:
+    """Two-state (good/bad) burst-loss model.
+
+    Each frame first draws a state transition (good→bad with
+    ``p_good_to_bad``, bad→good with ``p_bad_to_good``), then drops
+    with the resulting state's loss probability (``loss_good`` /
+    ``loss_bad``).  Mean sojourn in the bad state is
+    ``1 / p_bad_to_good`` frames — the burst length.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        state: str = "good",
+    ) -> None:
+        self.p_good_to_bad = _check_probability("p_good_to_bad", p_good_to_bad)
+        self.p_bad_to_good = _check_probability("p_bad_to_good", p_bad_to_good)
+        self.loss_good = _check_probability("loss_good", loss_good)
+        self.loss_bad = _check_probability("loss_bad", loss_bad)
+        if state not in ("good", "bad"):
+            raise ValueError(f"state must be 'good' or 'bad', got {state!r}")
+        self.state = state
+
+    def should_drop(self, rng) -> bool:
+        # Transition draw first (always exactly one), then the loss draw
+        # for the new state.  Degenerate per-state probabilities (0 / 1)
+        # skip their draw so burst boundaries stay sharp.
+        if self.state == "good":
+            if rng.random() < self.p_good_to_bad:
+                self.state = "bad"
+        else:
+            if rng.random() < self.p_bad_to_good:
+                self.state = "good"
+        p = self.loss_good if self.state == "good" else self.loss_bad
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return rng.random() < p
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run probability of being in the bad state."""
+        total = self.p_good_to_bad + self.p_bad_to_good
+        if total == 0.0:
+            return 1.0 if self.state == "bad" else 0.0
+        return self.p_good_to_bad / total
+
+    @property
+    def mean_loss(self) -> float:
+        pi_b = self.stationary_bad
+        return (1.0 - pi_b) * self.loss_good + pi_b * self.loss_bad
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "model": "gilbert",
+            "p_good_to_bad": self.p_good_to_bad,
+            "p_bad_to_good": self.p_bad_to_good,
+            "loss_good": self.loss_good,
+            "loss_bad": self.loss_bad,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GilbertElliottLoss gb={self.p_good_to_bad} bg={self.p_bad_to_good} "
+            f"mean={self.mean_loss:.4f} state={self.state}>"
+        )
+
+
+def gilbert_for_mean_loss(
+    mean_loss: float,
+    loss_bad: float = 0.9,
+    p_bad_to_good: float = 0.25,
+    loss_good: float = 0.0,
+) -> GilbertElliottLoss:
+    """A Gilbert–Elliott model tuned to a target mean loss rate.
+
+    Bursts average ``1 / p_bad_to_good`` frames; the good→bad rate is
+    solved from the stationary distribution so the long-run loss equals
+    ``mean_loss``.  Keeps fault-sweep grids parameterized by the same
+    scalar as a Bernoulli sweep, while producing correlated losses.
+    """
+    mean_loss = _check_probability("mean_loss", mean_loss, upper_inclusive=False)
+    if loss_bad <= loss_good:
+        raise ValueError("loss_bad must exceed loss_good")
+    if mean_loss <= loss_good:
+        # Degenerate target: never enter the bad state.
+        return GilbertElliottLoss(0.0, p_bad_to_good, loss_good, loss_bad)
+    pi_b = (mean_loss - loss_good) / (loss_bad - loss_good)
+    if pi_b >= 1.0:
+        raise ValueError(
+            f"mean_loss {mean_loss} unreachable with loss_bad {loss_bad}"
+        )
+    p_gb = p_bad_to_good * pi_b / (1.0 - pi_b)
+    return GilbertElliottLoss(p_gb, p_bad_to_good, loss_good, loss_bad)
+
+
+def loss_model_from_jsonable(spec: Dict[str, Any]):
+    """Rebuild a loss model from :meth:`to_jsonable` output (or the
+    compact fault-plan form ``{"model": "gilbert", "rate": 0.02}``)."""
+    if not isinstance(spec, dict) or "model" not in spec:
+        raise ValueError(f"invalid loss model spec: {spec!r}")
+    kind = spec["model"]
+    if kind == "bernoulli":
+        return BernoulliLoss(spec["rate"])
+    if kind == "gilbert":
+        if "rate" in spec:
+            return gilbert_for_mean_loss(
+                spec["rate"],
+                loss_bad=spec.get("loss_bad", 0.9),
+                p_bad_to_good=spec.get("p_bad_to_good", 0.25),
+                loss_good=spec.get("loss_good", 0.0),
+            )
+        return GilbertElliottLoss(
+            spec["p_good_to_bad"],
+            spec["p_bad_to_good"],
+            loss_good=spec.get("loss_good", 0.0),
+            loss_bad=spec.get("loss_bad", 1.0),
+        )
+    raise ValueError(f"unknown loss model {kind!r}")

@@ -65,6 +65,23 @@ class Node:
             "encapsulations": 0,
             "decapsulations": 0,
         }
+        #: fault-injection state: a crashed node drops every packet and
+        #: runs no protocol machinery until restarted
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Stop processing packets.  Subclasses additionally cancel their
+        protocol timers and discard protocol state (cold restart).  The
+        ``fault`` trace event is emitted by the injector, not here."""
+        self.crashed = True
+
+    def restart(self) -> None:
+        """Resume processing.  Subclasses re-boot their protocol engines
+        from cold state."""
+        self.crashed = False
 
     # ------------------------------------------------------------------
     # interfaces & addresses
@@ -202,6 +219,8 @@ class Node:
     # receiving
     # ------------------------------------------------------------------
     def receive(self, packet: Ipv6Packet, iface: Interface) -> None:
+        if self.crashed:
+            return  # links drop frames first; this guards direct delivery
         self.load["packets_processed"] += 1
         dst = packet.dst
         if dst.is_multicast:

@@ -63,6 +63,12 @@ class LinkStats:
     packets_by_category: Dict[str, int] = field(
         default_factory=lambda: defaultdict(int)
     )
+    #: link-level frame drops by reason (``nd-failure``, ``link-loss``,
+    #: ``link-down``, ``node-crashed``, ``receiver-detached``) — counted
+    #: here so delivery ratios are computable without a tracer attached
+    drops_by_reason: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
 
     def account(self, packet: Ipv6Packet) -> str:
         """Charge one transmission; returns the category used."""
@@ -84,6 +90,14 @@ class LinkStats:
             return sum(self.packets_by_category.values())
         return self.packets_by_category.get(category, 0)
 
+    def record_drop(self, reason: str) -> None:
+        self.drops_by_reason[reason] += 1
+
+    def drops(self, reason: Optional[str] = None) -> int:
+        if reason is None:
+            return sum(self.drops_by_reason.values())
+        return self.drops_by_reason.get(reason, 0)
+
 
 class NetworkStats:
     """Aggregated accounting across all links of a topology."""
@@ -99,6 +113,9 @@ class NetworkStats:
 
     def account(self, link_name: str, packet: Ipv6Packet) -> str:
         return self.stats_for(link_name).account(packet)
+
+    def account_drop(self, link_name: str, reason: str) -> None:
+        self.stats_for(link_name).record_drop(reason)
 
     # ------------------------------------------------------------------
     def link_bytes(self, link_name: str, category: Optional[str] = None) -> int:
@@ -127,6 +144,25 @@ class NetworkStats:
         """All protocol-control bytes (MLD + PIM + Mobile IPv6)."""
         return sum(self.total_bytes(c, links) for c in ("mld", "pim", "mipv6"))
 
+    def link_drops(self, link_name: str, reason: Optional[str] = None) -> int:
+        return self.stats_for(link_name).drops(reason)
+
+    def total_drops(
+        self,
+        reason: Optional[str] = None,
+        links: Optional[Iterable[str]] = None,
+    ) -> int:
+        names = list(links) if links is not None else list(self._per_link)
+        return sum(self.stats_for(n).drops(reason) for n in names)
+
+    def drops_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Copy of all drop counters: link -> reason -> frames."""
+        return {
+            name: dict(stats.drops_by_reason)
+            for name, stats in self._per_link.items()
+            if stats.drops_by_reason
+        }
+
     def snapshot(self) -> Dict[str, Dict[str, int]]:
         """Copy of all counters: link -> category -> bytes."""
         return {
@@ -152,12 +188,19 @@ class NetworkStats:
             "Per-link packets by traffic category",
             ("link", "category"),
         )
+        drops_gauge = registry.gauge(
+            "repro_link_drops",
+            "Per-link frame drops by reason",
+            ("link", "reason"),
+        )
         for name in sorted(self._per_link):
             stats = self._per_link[name]
             for category, value in stats.bytes_by_category.items():
                 bytes_gauge.labels(link=name, category=category).set(value)
             for category, value in stats.packets_by_category.items():
                 packets_gauge.labels(link=name, category=category).set(value)
+            for reason, value in stats.drops_by_reason.items():
+                drops_gauge.labels(link=name, reason=reason).set(value)
 
     def render(self) -> str:
         """Human-readable table of per-link byte counters."""

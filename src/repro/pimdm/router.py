@@ -103,6 +103,28 @@ class PimDmEngine:
         """Register a hook fed with multicast data for node-level joins."""
         self._local_hooks.append(hook)
 
+    def shutdown(self) -> None:
+        """Crash support: cancel every timer and discard all protocol
+        state (entries, neighbors, node-level joins).  A later
+        :meth:`start` re-advertises Hellos from a cold state and the
+        forwarding state is rebuilt by flood-and-prune."""
+        for timer in self._hello_timers:
+            timer.stop()
+        self._hello_timers.clear()
+        for table in self.neighbors.values():
+            for timer in table.values():
+                timer.stop()
+        self.neighbors.clear()
+        for entry in list(self.entries.values()):
+            entry.stop_all_timers()
+        self.entries.clear()
+        for event in self._join_override_events.values():
+            if event.pending:
+                event.cancel()
+        self._join_override_events.clear()
+        self._last_assert_sent.clear()
+        self.node_groups.clear()
+
     # ------------------------------------------------------------------
     # neighbor discovery
     # ------------------------------------------------------------------
@@ -773,6 +795,20 @@ class MulticastRouter(Node):
         """Boot MLD querier duty and PIM Hello advertisement."""
         self.mld_router.start()
         self.pim.start()
+
+    # Fault injection ----------------------------------------------------
+    def crash(self) -> None:
+        """Crash = drop all packets + cancel all protocol timers and
+        discard all MLD/PIM state (repro.faults NodeCrash)."""
+        super().crash()
+        self.mld_router.shutdown()
+        self.pim.shutdown()
+
+    def restart(self) -> None:
+        """Cold restart: protocol engines boot afresh; neighbors, trees,
+        and memberships are relearned."""
+        super().restart()
+        self.start()
 
     def handle_multicast(self, packet: Ipv6Packet, iface: Interface) -> None:
         self.dispatch_message(packet, iface)

@@ -26,6 +26,9 @@ category           meaning
 ``mcast.deliver``  application-level multicast delivery at a receiver
 ``mcast.forward``  a router forwarded a multicast datagram onto a link
 ``mobility``       a mobile node detached / attached / configured a CoA
+``fault``          an injected fault fired (:mod:`repro.faults`)
+``drop``           a link dropped a frame (reason: ``nd-failure``,
+                   ``link-loss``, ``link-down``, ``node-crashed``)
 ``link``           transmission records (optional, high volume)
 =================  =====================================================
 """

@@ -43,6 +43,8 @@ JSON_CONTRACTS = [
      {"experiment", "points"}),
     (["sweep", "timers", "--intervals", "10", "--repeats", "1", "--json"],
      {"experiment", "grid", "seed", "jobs", "cache_dir", "points", "campaign"}),
+    (["faults", "--loss", "0.02", "--approaches", "local", "--json"],
+     {"experiment", "scenario", "seed", "loss_rows", "campaign"}),
     (["trace", "--json"], {"join_delay", "leave_delay", "events_total"}),
     (["profile", "fig1", "--json"], {"total_events", "entries"}),
 ]
@@ -105,6 +107,8 @@ class TestBadArguments:
             (["sweep", "--jobs", "0"], "--jobs must be >= 1"),
             (["sweep", "--jobs", "-4"], "--jobs must be >= 1"),
             (["sweep", "timers", "--repeats", "0"], "--repeats must be >= 1"),
+            (["faults", "--loss", "1.5"], "--loss rates must be in [0, 1)"),
+            (["faults", "--approaches", "bogus"], "unknown approach"),
         ],
         ids=lambda v: " ".join(v) if isinstance(v, list) else v,
     )

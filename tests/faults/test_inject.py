@@ -1,0 +1,175 @@
+"""FaultInjector behaviour: validation, firing, and protocol effects."""
+
+import pytest
+
+from repro.core.scenario import PaperScenario, ScenarioConfig
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    handover_blackout,
+    link_down,
+    loss_burst,
+    node_crash,
+)
+from repro.net import Address, ApplicationData, BernoulliLoss, Host, Network
+from repro.pimdm import PimDmConfig
+
+from topo_helpers import build_line
+
+GROUP = Address("ff1e::1")
+
+
+def lan(seed=3):
+    net = Network(seed=seed)
+    link = net.add_link("LAN", "2001:db8:1::/64")
+    a = Host(net.sim, "A", tracer=net.tracer, rng=net.rng)
+    a.attach_to(link, link.prefix.address_for_host(1))
+    b = Host(net.sim, "B", tracer=net.tracer, rng=net.rng)
+    b.attach_to(link, link.prefix.address_for_host(2))
+    for h in (a, b):
+        net.register_node(h)
+    return net, link, a, b
+
+
+def blast(net, sender, start, count, gap=0.5):
+    for k in range(count):
+        net.sim.schedule_at(
+            start + k * gap, sender.send_multicast, GROUP, ApplicationData(seqno=k)
+        )
+
+
+class TestArmValidation:
+    def test_unknown_link_rejected(self):
+        net, *_ = lan()
+        with pytest.raises(ValueError, match="unknown link"):
+            FaultInjector(net, FaultPlan(link_down(1.0, "L99"))).arm()
+
+    def test_unknown_node_rejected(self):
+        net, *_ = lan()
+        with pytest.raises(ValueError, match="unknown node"):
+            FaultInjector(net, FaultPlan(node_crash(1.0, "ghost"))).arm()
+
+    def test_blackout_needs_mobile_target(self):
+        net, link, a, b = lan()
+        with pytest.raises(ValueError, match="non-mobile"):
+            FaultInjector(net, FaultPlan(handover_blackout(1.0, "A", 2.0))).arm()
+
+    def test_double_arm_rejected(self):
+        net, *_ = lan()
+        injector = FaultInjector(net, FaultPlan()).arm()
+        with pytest.raises(RuntimeError, match="already armed"):
+            injector.arm()
+
+
+class TestLinkFaults:
+    def test_down_window_drops_and_recovers(self):
+        net, link, a, b = lan()
+        got = []
+        b.joined_groups.add(GROUP)
+        b.on_app_data(lambda p, m: got.append(m.seqno))
+        blast(net, a, start=1.0, count=10, gap=1.0)  # t = 1..10
+        plan = FaultPlan(link_down(3.5, "LAN", duration=3.0))  # covers t = 4,5,6
+        injector = FaultInjector(net, plan).arm()
+        net.run(until=12.0)
+        assert got == [0, 1, 2, 6, 7, 8, 9]
+        assert injector.fired == 2
+        assert not link.up or link.up  # property exists
+        assert net.stats.link_drops("LAN", "link-down") == 3
+
+    def test_fault_trace_events_emitted(self):
+        net, link, a, b = lan()
+        FaultInjector(net, FaultPlan(link_down(2.0, "LAN", duration=1.0))).arm()
+        net.run(until=5.0)
+        kinds = [e.detail["event"] for e in net.tracer.query("fault")]
+        assert kinds == ["link-down", "link-up"]
+        assert all(e.node == "LAN" for e in net.tracer.query("fault"))
+
+    def test_loss_stop_restores_previous_model(self):
+        net, link, a, b = lan()
+        link.loss_rate = 0.2  # pre-existing background loss
+        plan = FaultPlan(loss_burst(1.0, "LAN", rate=0.9, duration=2.0))
+        FaultInjector(net, plan).arm()
+        net.run(until=1.5)
+        assert link.loss_model.rate == 0.9
+        net.run(until=4.0)
+        assert isinstance(link.loss_model, BernoulliLoss)
+        assert link.loss_model.rate == 0.2
+
+    def test_loss_stop_without_prior_model_clears(self):
+        net, link, a, b = lan()
+        FaultInjector(
+            net, FaultPlan(FaultEvent(1.0, "loss-stop", "LAN"))
+        ).arm()
+        net.run(until=2.0)
+        assert link.loss_model is None
+
+
+class TestNodeCrash:
+    def test_crash_silences_and_restart_recovers(self):
+        cfg = PimDmConfig(hello_period=2.0, hello_holdtime=7.0)
+        topo = build_line(2, pim_config=cfg)
+        r0, r1 = topo.routers
+        shared = topo.links[1]
+        plan = FaultPlan(node_crash(5.0, "R0", duration=10.0))
+        FaultInjector(topo.net, plan).arm()
+        topo.net.run(until=4.0)
+        assert r1.pim.has_pim_neighbors(r1.iface_on(shared))
+        topo.net.run(until=14.0)  # crash at 5, holdtime expires at 12ish
+        assert r0.crashed
+        assert not r1.pim.has_pim_neighbors(r1.iface_on(shared))
+        topo.net.run(until=25.0)  # restart at 15, hellos resume
+        assert not r0.crashed
+        assert r1.pim.has_pim_neighbors(r1.iface_on(shared))
+
+    def test_crashed_node_drops_frames_both_ways(self):
+        topo = build_line(1)
+        sender = topo.host_on(0, 100, "S")
+        FaultInjector(topo.net, FaultPlan(node_crash(2.0, "R0"))).arm()
+        blast(topo.net, sender, start=3.0, count=4)
+        topo.net.run(until=6.0)
+        assert topo.net.stats.total_drops("node-crashed") >= 4
+
+    def test_crash_clears_pim_entries(self):
+        topo = build_line(2)
+        sender = topo.host_on(0, 100, "S")
+        topo.net.run(until=1.0)
+        sender.send_multicast(GROUP, ApplicationData(seqno=0))
+        topo.net.run(until=3.0)
+        r0 = topo.routers[0]
+        assert r0.pim.get_entry(sender.primary_address(), GROUP) is not None
+        FaultInjector(topo.net, FaultPlan(node_crash(4.0, "R0"))).arm()
+        topo.net.run(until=5.0)
+        assert r0.pim.get_entry(sender.primary_address(), GROUP) is None
+
+    def test_home_agent_crash_wipes_bindings(self):
+        topo = build_line(1, use_home_agents=True, seed=11)
+        ha = topo.routers[0]
+        home_link = topo.links[0]
+        home = home_link.prefix.address_for_host(77)
+        coa = topo.links[1].prefix.address_for_host(77)
+        topo.net.run(until=1.0)
+        ha.binding_cache.update(home, coa, lifetime=100.0, sequence=1)
+        ha.home_iface_for(home).link.register_address(
+            ha.home_iface_for(home), home
+        )
+        FaultInjector(topo.net, FaultPlan(node_crash(2.0, "R0"))).arm()
+        topo.net.run(until=3.0)
+        assert home not in ha.binding_cache
+        assert home_link.resolve(home) is None
+
+
+class TestBlackout:
+    def test_mobile_reattaches_and_rejoins(self):
+        sc = PaperScenario(ScenarioConfig(seed=0))
+        plan = FaultPlan(handover_blackout(50.0, "R3", 2.0))
+        FaultInjector(sc.net, plan).arm()
+        sc.converge()
+        sc.run_until(80.0)
+        host = sc.paper.host("R3")
+        assert host.current_link is not None
+        assert host.current_link.name == "L4"  # back on the home link
+        assert sc.net.tracer.count("mobility", event="blackout") == 1
+        # radio gap (2 s) + movement detection + rejoin, then data flows
+        delay = sc.apps["R3"].join_delay(50.0)
+        assert delay is not None and 2.0 < delay < 8.0

@@ -1,0 +1,119 @@
+"""Gilbert–Elliott / Bernoulli loss model statistics and plumbing."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    gilbert_for_mean_loss,
+    loss_model_from_jsonable,
+)
+
+
+def drop_pattern(model, n, seed=123):
+    rng = random.Random(seed)
+    return [model.should_drop(rng) for _ in range(n)]
+
+
+def mean_burst_length(pattern):
+    bursts, run = [], 0
+    for dropped in pattern:
+        if dropped:
+            run += 1
+        elif run:
+            bursts.append(run)
+            run = 0
+    if run:
+        bursts.append(run)
+    return sum(bursts) / len(bursts) if bursts else 0.0
+
+
+class TestBernoulli:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.0)
+        with pytest.raises(ValueError):
+            BernoulliLoss(-0.1)
+        assert BernoulliLoss(0.0).mean_loss == 0.0
+
+    def test_mean_loss_is_rate(self):
+        assert BernoulliLoss(0.25).mean_loss == 0.25
+
+    def test_empirical_rate(self):
+        pattern = drop_pattern(BernoulliLoss(0.3), 4000)
+        assert 0.25 <= sum(pattern) / len(pattern) <= 0.35
+
+    def test_jsonable_round_trip(self):
+        model = BernoulliLoss(0.4)
+        again = loss_model_from_jsonable(model.to_jsonable())
+        assert isinstance(again, BernoulliLoss) and again.rate == 0.4
+
+
+class TestGilbertElliott:
+    def test_stationary_bad(self):
+        model = GilbertElliottLoss(p_good_to_bad=0.01, p_bad_to_good=0.09)
+        assert model.stationary_bad == pytest.approx(0.1)
+
+    def test_mean_loss_formula(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.02, p_bad_to_good=0.18, loss_good=0.0, loss_bad=0.5
+        )
+        assert model.mean_loss == pytest.approx(0.1 * 0.5)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=1.5, p_bad_to_good=0.1)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=0.1, p_bad_to_good=0.1, loss_bad=-1.0)
+
+    def test_empirical_mean_matches_target(self):
+        model = gilbert_for_mean_loss(0.1)
+        pattern = drop_pattern(model, 20000)
+        assert 0.07 <= sum(pattern) / len(pattern) <= 0.13
+
+    def test_losses_are_burstier_than_bernoulli(self):
+        """Same mean loss, but GE drops arrive in runs."""
+        rate = 0.1
+        ge = mean_burst_length(drop_pattern(gilbert_for_mean_loss(rate), 20000))
+        bern = mean_burst_length(drop_pattern(BernoulliLoss(rate), 20000))
+        assert ge > bern * 1.5
+
+    def test_deterministic_given_same_rng_stream(self):
+        a = drop_pattern(gilbert_for_mean_loss(0.2), 500, seed=9)
+        b = drop_pattern(gilbert_for_mean_loss(0.2), 500, seed=9)
+        assert a == b
+
+
+class TestSolver:
+    def test_zero_mean_never_drops(self):
+        model = gilbert_for_mean_loss(0.0)
+        assert not any(drop_pattern(model, 1000))
+
+    def test_mean_loss_reproduced_analytically(self):
+        for target in (0.01, 0.05, 0.2):
+            assert gilbert_for_mean_loss(target).mean_loss == pytest.approx(target)
+
+    def test_unreachable_target_rejected(self):
+        # mean loss above loss_bad cannot be reached by mixing states
+        with pytest.raises(ValueError):
+            gilbert_for_mean_loss(0.95, loss_bad=0.9)
+
+
+class TestFromJsonable:
+    def test_gilbert_by_rate(self):
+        model = loss_model_from_jsonable({"model": "gilbert", "rate": 0.05})
+        assert isinstance(model, GilbertElliottLoss)
+        assert model.mean_loss == pytest.approx(0.05)
+
+    def test_gilbert_by_raw_probabilities(self):
+        model = loss_model_from_jsonable(
+            {"model": "gilbert", "p_good_to_bad": 0.02, "p_bad_to_good": 0.2}
+        )
+        assert isinstance(model, GilbertElliottLoss)
+        assert model.p_good_to_bad == 0.02
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            loss_model_from_jsonable({"model": "cantor-dust"})

@@ -1,0 +1,138 @@
+"""FaultPlan / FaultEvent: validation, ordering, JSON round-trips."""
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    gilbert_loss,
+    handover_blackout,
+    link_down,
+    link_up,
+    loss_burst,
+    node_crash,
+    node_restart,
+)
+
+
+class TestFaultEvent:
+    def test_valid_event(self):
+        ev = FaultEvent(5.0, "link-down", "L1")
+        assert ev.at == 5.0 and ev.kind == "link-down" and ev.target == "L1"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultEvent(-1.0, "link-down", "L1")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(1.0, "meteor-strike", "L1")
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FaultEvent(1.0, "link-down", "")
+
+    def test_params_must_be_jsonable(self):
+        with pytest.raises(ValueError, match="JSON-able"):
+            FaultEvent(1.0, "link-down", "L1", {"bad": object()})
+
+    def test_loss_start_params_validated_at_construction(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "loss-start", "L1", {"model": "nonsense"})
+        # a valid spec constructs fine
+        FaultEvent(1.0, "loss-start", "L1", {"model": "bernoulli", "rate": 0.1})
+
+    def test_blackout_requires_positive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(1.0, "blackout", "R3")
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(1.0, "blackout", "R3", {"duration": 0.0})
+
+    def test_round_trip(self):
+        ev = FaultEvent(2.0, "loss-start", "L6", {"model": "bernoulli", "rate": 0.2})
+        assert FaultEvent.from_jsonable(ev.to_jsonable()) == ev
+
+
+class TestFaultPlan:
+    def test_sorted_by_time(self):
+        plan = FaultPlan(
+            FaultEvent(9.0, "link-up", "L1"),
+            FaultEvent(3.0, "link-down", "L1"),
+        )
+        assert [e.at for e in plan] == [3.0, 9.0]
+
+    def test_accepts_factory_tuples(self):
+        plan = FaultPlan(link_down(5.0, "L1", duration=2.0), node_crash(1.0, "D"))
+        assert [e.kind for e in plan] == ["node-crash", "link-down", "link-up"]
+
+    def test_simultaneous_events_keep_plan_order(self):
+        plan = FaultPlan(
+            FaultEvent(4.0, "link-down", "L1"),
+            FaultEvent(4.0, "node-crash", "D"),
+        )
+        assert [e.kind for e in plan] == ["link-down", "node-crash"]
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            FaultPlan("link-down")
+        with pytest.raises(TypeError):
+            FaultPlan([1, 2])
+
+    def test_targets_sorted_unique(self):
+        plan = FaultPlan(link_down(1.0, "L2", duration=1.0), link_down(2.0, "L1"))
+        assert plan.targets() == ["L1", "L2"]
+
+    def test_round_trip(self):
+        plan = FaultPlan(
+            gilbert_loss(3.0, "L6", rate=0.05, duration=10.0),
+            node_crash(5.0, "D", duration=2.0),
+            handover_blackout(7.0, "R3", 1.5),
+        )
+        again = FaultPlan.from_jsonable(plan.to_jsonable())
+        assert again == plan and len(again) == 5
+
+    def test_from_jsonable_none_is_empty(self):
+        assert len(FaultPlan.from_jsonable(None)) == 0
+
+
+class TestFactories:
+    def test_link_down_with_duration_emits_link_up(self):
+        down, up = link_down(5.0, "L1", duration=2.5)
+        assert (down.kind, up.kind) == ("link-down", "link-up")
+        assert up.at == 7.5
+
+    def test_link_down_without_duration(self):
+        (only,) = link_down(5.0, "L1")
+        assert only.kind == "link-down"
+
+    def test_link_up_factory(self):
+        (ev,) = link_up(8.0, "L1")
+        assert ev.kind == "link-up" and ev.at == 8.0
+
+    @pytest.mark.parametrize("factory", [link_down, node_crash])
+    def test_nonpositive_duration_rejected(self, factory):
+        with pytest.raises(ValueError, match="duration"):
+            factory(1.0, "X", duration=0.0)
+
+    def test_loss_burst_params(self):
+        start, stop = loss_burst(2.0, "L6", rate=0.3, duration=4.0)
+        assert start.params == {"model": "bernoulli", "rate": 0.3}
+        assert stop.kind == "loss-stop" and stop.at == 6.0
+
+    def test_gilbert_loss_needs_exactly_one_rate_form(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            gilbert_loss(1.0, "L6")
+        with pytest.raises(ValueError, match="exactly one"):
+            gilbert_loss(1.0, "L6", rate=0.1, p_good_to_bad=0.01)
+        (by_rate,) = gilbert_loss(1.0, "L6", rate=0.1)
+        assert by_rate.params["rate"] == 0.1
+        (raw,) = gilbert_loss(1.0, "L6", p_good_to_bad=0.02)
+        assert raw.params["p_good_to_bad"] == 0.02
+
+    def test_node_crash_with_restart(self):
+        crash, restart = node_crash(10.0, "D", duration=15.0)
+        assert restart == node_restart(25.0, "D")[0]
+
+    def test_blackout_factory(self):
+        (ev,) = handover_blackout(6.0, "R3", 2.0)
+        assert ev.kind == "blackout" and ev.params == {"duration": 2.0}

@@ -1,0 +1,61 @@
+"""MLD Robustness Variable under injected loss (repro.faults).
+
+RFC 2710 sends ``robustness`` unsolicited Reports per join so a single
+lost frame cannot hide a member.  With *all* unsolicited Reports lost,
+the join must still complete at the next General Query.
+"""
+
+from repro.faults import FaultInjector, FaultPlan, link_down
+from repro.mld import MldConfig, MldHost, MldRouter
+from repro.net import Address, Host, Network, Node
+
+GROUP = Address("ff1e::1")
+
+CFG = MldConfig(
+    robustness=2,
+    unsolicited_report_interval=2.0,  # Reports at join and join+2
+    query_interval=20.0,
+    startup_query_interval=5.0,  # startup Queries at t=0, 5
+    startup_query_count=2,
+    query_response_interval=5.0,
+)
+
+
+def lan(seed=4):
+    net = Network(seed=seed)
+    link = net.add_link("LAN", "2001:db8:1::/64")
+    r = Node(net.sim, "R", tracer=net.tracer, rng=net.rng)
+    r.is_router = True
+    r.attach_to(link, link.prefix.address_for_host(1))
+    net.register_node(r)
+    engine = MldRouter(r, CFG)
+    net.on_start(engine.start)
+    h = Host(net.sim, "H", tracer=net.tracer, rng=net.rng)
+    h.attach_to(link, link.prefix.address_for_host(100))
+    net.register_node(h)
+    mld = MldHost(h, CFG)
+    return net, link, r, engine, mld
+
+
+class TestRobustness:
+    def test_one_lost_report_still_joins(self):
+        """First unsolicited Report (t=6) lost; the second (t=8) lands."""
+        net, link, r, engine, mld = lan()
+        FaultInjector(net, FaultPlan(link_down(5.9, "LAN", duration=1.1))).arm()
+        net.sim.schedule_at(6.0, mld.join, GROUP)
+        net.run(until=9.0)
+        assert engine.has_members(r.interfaces[0], GROUP)
+        assert net.stats.link_drops("LAN", "link-down") >= 1
+
+    def test_all_reports_lost_join_completes_at_next_query(self):
+        """Both unsolicited Reports (t=6, 8) lost; the steady Query at
+        t=25 solicits the Report that completes the join."""
+        net, link, r, engine, mld = lan()
+        FaultInjector(net, FaultPlan(link_down(5.9, "LAN", duration=4.6))).arm()
+        net.sim.schedule_at(6.0, mld.join, GROUP)
+        net.run(until=24.9)
+        assert not engine.has_members(r.interfaces[0], GROUP)
+        # steady query: startup at 0 and 5, then 5 + query_interval = 25
+        net.run(until=25.0 + CFG.query_response_interval + 0.1)
+        assert engine.has_members(r.interfaces[0], GROUP)
+        assert net.stats.link_drops("LAN", "link-down") >= 2

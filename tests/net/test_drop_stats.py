@@ -1,0 +1,158 @@
+"""Link-level drop accounting and post-construction loss_rate mutation.
+
+Delivery ratios must be computable from :class:`NetworkStats` alone —
+every dropped frame is counted by (link, reason) without needing a
+tracer.  And ``Link.loss_rate`` is now a property backed by a loss
+model: mutating it after construction either works deterministically
+(the RNG stream is derived from the stable link name) or raises if the
+link was built without an RNG registry.
+"""
+
+import pytest
+
+from repro.net import (
+    Address,
+    ApplicationData,
+    BernoulliLoss,
+    GilbertElliottLoss,
+    Host,
+    Link,
+    Network,
+    Prefix,
+)
+from repro.sim import Simulator
+
+GROUP = Address("ff1e::1")
+
+
+def lan(seed=5, loss_rate=0.0):
+    net = Network(seed=seed)
+    link = net.add_link("LAN", "2001:db8:1::/64", loss_rate=loss_rate)
+    a = Host(net.sim, "A", tracer=net.tracer, rng=net.rng)
+    a.attach_to(link, link.prefix.address_for_host(1))
+    b = Host(net.sim, "B", tracer=net.tracer, rng=net.rng)
+    b.attach_to(link, link.prefix.address_for_host(2))
+    for h in (a, b):
+        net.register_node(h)
+    b.joined_groups.add(GROUP)
+    return net, link, a, b
+
+
+def blast(net, sender, count=200, gap=0.01):
+    for k in range(count):
+        net.sim.schedule_at(
+            1.0 + gap * k, sender.send_multicast, GROUP, ApplicationData(seqno=k)
+        )
+
+
+class TestDropAccounting:
+    def test_link_loss_counted(self):
+        net, link, a, b = lan(loss_rate=0.3)
+        blast(net, a)
+        net.run(until=10.0)
+        assert link.frames_lost > 0
+        assert net.stats.link_drops("LAN", "link-loss") == link.frames_lost
+        assert net.stats.total_drops("link-loss") == link.frames_lost
+
+    def test_nd_failure_counted(self):
+        from repro.net import Ipv6Packet
+
+        net, link, a, b = lan()
+        ghost = link.prefix.address_for_host(99)  # nobody there
+        net.sim.schedule_at(
+            1.0,
+            a.route_and_send,
+            Ipv6Packet(a.primary_address(), ghost, ApplicationData(seqno=0)),
+        )
+        net.run(until=2.0)
+        assert net.stats.link_drops("LAN", "nd-failure") == 1
+
+    def test_link_down_counted(self):
+        net, link, a, b = lan()
+        net.sim.schedule_at(0.5, link.set_down)
+        blast(net, a, count=5, gap=0.1)
+        net.run(until=3.0)
+        assert net.stats.link_drops("LAN", "link-down") == 5
+
+    def test_snapshot_only_lists_nonempty(self):
+        net, link, a, b = lan()
+        net.add_link("QUIET", "2001:db8:2::/64")
+        net.sim.schedule_at(0.5, link.set_down)
+        blast(net, a, count=3, gap=0.1)
+        net.run(until=3.0)
+        snap = net.stats.drops_snapshot()
+        assert snap == {"LAN": {"link-down": 3}}
+
+    def test_total_drops_all_reasons(self):
+        net, link, a, b = lan(loss_rate=0.5)
+        blast(net, a, count=50)
+        net.run(until=3.0)
+        assert net.stats.total_drops() == net.stats.link_drops("LAN")
+
+    def test_drops_appear_in_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        net, link, a, b = lan()
+        net.sim.schedule_at(0.5, link.set_down)
+        blast(net, a, count=2, gap=0.1)
+        net.run(until=3.0)
+        registry = MetricsRegistry()
+        net.stats.publish_to(registry)
+        text = registry.render_prometheus()
+        assert 'repro_link_drops{link="LAN",reason="link-down"} 2' in text
+
+
+class TestLossRateMutation:
+    def test_mutation_after_construction_takes_effect(self):
+        net, link, a, b = lan(loss_rate=0.0)
+        link.loss_rate = 0.5
+        blast(net, a, count=100)
+        net.run(until=5.0)
+        assert link.frames_lost > 10
+
+    def test_mutation_is_deterministic(self):
+        def run(seed):
+            net, link, a, b = lan(seed=seed)
+            link.loss_rate = 0.4
+            got = []
+            b.on_app_data(lambda p, m: got.append(m.seqno))
+            blast(net, a, count=100)
+            net.run(until=5.0)
+            return got
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+    def test_mutation_without_rng_registry_raises(self):
+        sim = Simulator()
+        link = Link(sim, "BARE", Prefix("2001:db8:9::/64"))
+        with pytest.raises(ValueError, match="no RNG registry"):
+            link.loss_rate = 0.2
+
+    def test_construction_without_rng_registry_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="no RNG registry"):
+            Link(sim, "BARE", Prefix("2001:db8:9::/64"), loss_rate=0.2)
+
+    def test_range_still_validated(self):
+        net, link, a, b = lan()
+        with pytest.raises(ValueError):
+            link.loss_rate = 1.0
+        with pytest.raises(ValueError):
+            link.loss_rate = -0.01
+
+    def test_property_reflects_model(self):
+        net, link, a, b = lan(loss_rate=0.25)
+        assert link.loss_rate == 0.25
+        assert isinstance(link.loss_model, BernoulliLoss)
+        link.loss_rate = 0.0
+        assert link.loss_model is None and link.loss_rate == 0.0
+
+    def test_set_loss_model_gilbert(self):
+        net, link, a, b = lan()
+        model = GilbertElliottLoss(p_good_to_bad=0.05, p_bad_to_good=0.25)
+        link.set_loss_model(model)
+        assert link.loss_rate == pytest.approx(model.mean_loss)
+        blast(net, a, count=200)
+        net.run(until=5.0)
+        assert link.frames_lost > 0

@@ -1,0 +1,63 @@
+"""PIM-DM Graft retransmission under injected loss (repro.faults).
+
+A Graft is the one acknowledged PIM-DM message: losing it must not
+strand a rejoining receiver.  We take the router-to-router link down
+across the first Graft, and verify the Graft retry timer
+(``graft_retry_interval``) re-sends it and the branch comes back.
+"""
+
+from repro.faults import FaultInjector, FaultPlan, link_down
+from repro.mld import MldHost
+from repro.net import Address, ApplicationData
+from repro.pimdm import PimDmConfig
+
+from topo_helpers import build_line
+
+GROUP = Address("ff1e::1")
+RETRY = 3.0
+
+
+def grafting_line(seed=7):
+    """S on L0 — R0 — L1 — R1 — L2 — H; R1 prunes, then H joins late."""
+    cfg = PimDmConfig(graft_retry_interval=RETRY)
+    topo = build_line(2, seed=seed, pim_config=cfg)
+    sender = topo.host_on(0, 100, "S")
+    listener = topo.host_on(2, 101, "H")
+    mld = MldHost(listener, None)
+    # steady CBR so prune state forms and recovery is observable
+    for k in range(80):
+        topo.net.sim.schedule_at(
+            1.0 + 0.5 * k, sender.send_multicast, GROUP, ApplicationData(seqno=k)
+        )
+    return topo, sender, listener, mld
+
+
+class TestGraftRetry:
+    def test_lost_graft_is_retransmitted_and_acked(self):
+        topo, sender, listener, mld = grafting_line()
+        got = []
+        listener.on_app_data(lambda p, m: got.append((topo.net.now, m.seqno)))
+
+        # L1 is down when the join-triggered Graft fires at ~25.5
+        FaultInjector(
+            topo.net, FaultPlan(link_down(25.0, "L1", duration=2.0))
+        ).arm()
+        topo.net.sim.schedule_at(25.5, mld.join, GROUP)
+        topo.net.run(until=35.0)
+
+        tracer = topo.net.tracer
+        # first Graft lost, retry after graft_retry_interval wins
+        assert tracer.count("pim", event="graft-sent", node="R1") >= 2
+        assert tracer.count("pim", event="graft-acked", node="R1") >= 1
+        assert topo.net.stats.link_drops("L1", "link-down") >= 1
+        delivered_after = [t for t, _ in got if t >= 25.5]
+        assert delivered_after, "branch never recovered after lost Graft"
+        # recovery bounded by one retry cycle (plus propagation slack)
+        assert min(delivered_after) - 25.5 <= RETRY + 1.5
+
+    def test_no_retry_needed_without_loss(self):
+        topo, sender, listener, mld = grafting_line()
+        topo.net.sim.schedule_at(25.5, mld.join, GROUP)
+        topo.net.run(until=35.0)
+        assert topo.net.tracer.count("pim", event="graft-sent", node="R1") == 1
+        assert topo.net.tracer.count("pim", event="graft-acked", node="R1") == 1
