@@ -23,16 +23,25 @@ command line.  See ``docs/CAMPAIGNS.md``.
 
 from .cache import CACHE_SCHEMA_VERSION, ResultCache, cache_key, code_version
 from .grid import CampaignCell, CampaignGrid, canonical_params
-from .runner import CampaignResult, CampaignRunner, CellOutcome, resolve_cell
+from .runner import (
+    CampaignError,
+    CampaignResult,
+    CampaignRunner,
+    CellOutcome,
+    CheckpointJournal,
+    resolve_cell,
+)
 from .tasks import get_task, register_task, task_names
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CampaignCell",
+    "CampaignError",
     "CampaignGrid",
     "CampaignResult",
     "CampaignRunner",
     "CellOutcome",
+    "CheckpointJournal",
     "ResultCache",
     "cache_key",
     "canonical_params",

@@ -18,6 +18,9 @@ Registered tasks:
 ``faults.receiver``      one resilience row under wireless loss
 ``faults.ha_crash``      one resilience row under a home-agent crash
 ``selftest.echo``        cheap deterministic no-sim task (tests)
+``selftest.sleep``       sleeps; exercises the hung-cell watchdog
+``selftest.flaky``       fails N times then succeeds (retry tests)
+``selftest.kill``        SIGKILLs its worker once (chaos tests)
 =====================  ==============================================
 
 ``repro.core`` is imported lazily inside the task bodies:
@@ -274,3 +277,67 @@ def selftest_echo(seed: int = 0, **params: Any) -> Dict[str, Any]:
         "draw": rng.uniform("selftest", 0.0, 1.0),
         "pick": rng.choice("selftest-pick", ["a", "b", "c", "d"]),
     }
+
+
+# ----------------------------------------------------------------------
+# supervisor self-test cells (see tests/campaign/test_supervisor.py and
+# docs/ROBUSTNESS.md) — misbehaving on purpose
+# ----------------------------------------------------------------------
+
+def _attempt_count(state_dir: str, tag: str) -> int:
+    """Count this call as one attempt at ``tag``; return the attempt no.
+
+    The marker directory carries cross-process state: each attempt —
+    even one that dies mid-cell — leaves one file behind, so retried
+    cells can tell which attempt they are.
+    """
+    import os as _os
+    import uuid
+
+    _os.makedirs(state_dir, exist_ok=True)
+    marker = _os.path.join(state_dir, f"{tag}.{uuid.uuid4().hex}")
+    with open(marker, "w"):
+        pass
+    return sum(1 for n in _os.listdir(state_dir) if n.startswith(f"{tag}."))
+
+
+@register_task("selftest.fail")
+def selftest_fail(seed: int = 0, message: str = "boom") -> Dict[str, Any]:
+    """Always raises — a permanently poisoned cell."""
+    raise RuntimeError(message)
+
+
+@register_task("selftest.sleep")
+def selftest_sleep(seed: int = 0, duration: float = 60.0) -> Dict[str, Any]:
+    """Sleeps ``duration`` seconds — a hung cell for the watchdog."""
+    import time as _time
+
+    _time.sleep(duration)
+    return {"seed": seed, "slept": duration}
+
+
+@register_task("selftest.flaky")
+def selftest_flaky(
+    state_dir: str, seed: int = 0, fail_times: int = 1, tag: str = "flaky"
+) -> Dict[str, Any]:
+    """Raises on the first ``fail_times`` attempts, then succeeds."""
+    attempt = _attempt_count(state_dir, tag)
+    if attempt <= fail_times:
+        raise RuntimeError(f"flaky failure {attempt}/{fail_times}")
+    return {"seed": seed, "tag": tag, "ok": True}
+
+
+@register_task("selftest.kill")
+def selftest_kill(state_dir: str, seed: int = 0, tag: str = "kill") -> Dict[str, Any]:
+    """SIGKILLs its own worker process on the first attempt.
+
+    Simulates an OOM kill / segfault mid-cell: no exception, no
+    cleanup, the pool just breaks.  Later attempts succeed.
+    """
+    import os as _os
+    import signal
+
+    attempt = _attempt_count(state_dir, tag)
+    if attempt <= 1:
+        _os.kill(_os.getpid(), signal.SIGKILL)
+    return {"seed": seed, "tag": tag, "survived": True}

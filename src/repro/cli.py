@@ -35,12 +35,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import asdict
 from typing import Any, Callable, Dict, Optional
 
 from .analysis import fmt_seconds, render_figure
-from .campaign import CampaignRunner
+from .campaign import CampaignError, CampaignRunner
 from .core import (
     ALL_APPROACHES,
     BIDIRECTIONAL_TUNNEL,
@@ -79,6 +80,7 @@ def _print_json(payload: Any) -> None:
 def _fig1(args: argparse.Namespace) -> None:
     sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=LOCAL_MEMBERSHIP))
     sc.converge()
+    sc.finish()
     asserts, prunes = sc.metrics.assert_count(), sc.metrics.prune_count()
     if args.json:
         _print_json(
@@ -101,6 +103,7 @@ def _fig2(args: argparse.Namespace) -> None:
     sc.converge()
     sc.move("R3", "L6", at=40.0)
     sc.run_until(40.0 + 260.0 + 30.0)
+    sc.finish()
     join, leave = sc.join_delay("R3", 40.0), sc.leave_delay("L4", 40.0)
     if args.json:
         _print_json(
@@ -125,6 +128,7 @@ def _fig3(args: argparse.Namespace) -> None:
     sc.converge()
     sc.move("R3", "L1", at=40.0)
     sc.run_until(90.0)
+    sc.finish()
     d = sc.paper.router("D")
     groups = [str(g) for g in d.groups_on_behalf()]
     if args.json:
@@ -153,6 +157,7 @@ def _fig4(args: argparse.Namespace) -> None:
     sc.converge()
     sc.move("S", "L6", at=40.0)
     sc.run_until(100.0)
+    sc.finish()
     reverse_tunneled = sc.paper.router("A").reverse_tunneled
     if args.json:
         _print_json(
@@ -269,11 +274,22 @@ def _campaign_runner(args: argparse.Namespace, registry) -> CampaignRunner:
     """Validated runner from --jobs / --cache-dir, progress on stderr."""
     if args.jobs < 1:
         raise SystemExit(f"error: --jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        raise SystemExit(f"error: --retries must be >= 0, got {args.retries}")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit(f"error: --timeout must be positive, got {args.timeout}")
+    if args.resume and not args.checkpoint:
+        raise SystemExit("error: --resume requires --checkpoint PATH")
 
     def progress(done: int, total: int, outcome) -> None:
         if args.json:
             return
-        source = "cache" if outcome.cached else f"{outcome.elapsed:.1f}s"
+        if not outcome.ok:
+            source = f"FAILED after {outcome.attempts} attempt(s)"
+        elif outcome.cached:
+            source = "cache"
+        else:
+            source = f"{outcome.elapsed:.1f}s"
         print(
             f"  [{done}/{total}] {outcome.cell.task} ({source})",
             file=sys.stderr,
@@ -286,6 +302,10 @@ def _campaign_runner(args: argparse.Namespace, registry) -> CampaignRunner:
             master_seed=args.seed,
             registry=registry,
             progress=progress,
+            timeout=args.timeout,
+            retries=args.retries,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
     except (NotADirectoryError, OSError) as exc:
         raise SystemExit(f"error: invalid --cache-dir: {exc}")
@@ -355,7 +375,8 @@ def _sweep(args: argparse.Namespace) -> None:
     print("\n\n".join(sections))
     print(
         f"\ncampaign: {stats['cells']} cells, {stats['executed']} executed, "
-        f"{stats['cached']} cached, jobs={stats['jobs']}, "
+        f"{stats['cached']} cached, {stats['failed']} failed, "
+        f"{stats['retries']} retries, jobs={stats['jobs']}, "
         f"wall {stats['wall_clock']:.1f}s"
     )
     if args.metrics:
@@ -422,7 +443,8 @@ def _faults(args: argparse.Namespace) -> None:
     print("\n\n".join(sections))
     print(
         f"\ncampaign: {stats['cells']} cells, {stats['executed']} executed, "
-        f"{stats['cached']} cached, jobs={stats['jobs']}, "
+        f"{stats['cached']} cached, {stats['failed']} failed, "
+        f"{stats['retries']} retries, jobs={stats['jobs']}, "
         f"wall {stats['wall_clock']:.1f}s"
     )
     if args.metrics:
@@ -497,6 +519,7 @@ def _trace(args: argparse.Namespace) -> None:
     sc.move(_TRACE_RECEIVER, _TRACE_NEW_LINK, at=_TRACE_MOVE_AT)
     t_mli = (sc.config.mld or MldConfig()).multicast_listener_interval
     sc.run_until(_TRACE_MOVE_AT + t_mli + 30.0)
+    sc.finish()
     snapshots = [before, sc.metrics.snapshot()]
 
     summary = summarize_mobility(
@@ -544,6 +567,7 @@ def _profile(args: argparse.Namespace) -> None:
     if recipe.move is not None:
         sc.move(recipe.move[0], recipe.move[1], at=recipe.move_at)
         sc.run_until(recipe.run_until)
+    sc.finish()
     if args.json:
         _print_json(
             {
@@ -583,6 +607,29 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
 }
 
 
+def _add_invariants_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--check-invariants", action="store_true",
+        help="attach the runtime protocol invariant oracles "
+        "(repro.invariants) and fail on any violation; propagates to "
+        "campaign worker processes (see docs/ROBUSTNESS.md)",
+    )
+
+
+def _add_supervisor_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell wall-clock budget; hung cells are killed "
+                   "and retried (jobs >= 2)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts per failing cell before it is "
+                   "quarantined (default: 1)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="append every executed cell to this JSONL journal")
+    p.add_argument("--resume", action="store_true",
+                   help="replay completed cells from the --checkpoint "
+                   "journal instead of re-running them")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -604,9 +651,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+        _add_invariants_flag(p)
     report = sub.add_parser("report", help="run everything, emit a Markdown report")
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", "-o", default=None)
+    _add_invariants_flag(report)
     sweep = sub.add_parser(
         "sweep",
         help="run an experiment grid through the parallel campaign engine "
@@ -631,6 +680,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print campaign metrics (Prometheus text)")
     sweep.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+    _add_supervisor_flags(sweep)
+    _add_invariants_flag(sweep)
     faults = sub.add_parser(
         "faults",
         help="resilience under injected faults: loss sweeps and home-agent "
@@ -660,6 +711,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also print resilience metrics (Prometheus text)")
     faults.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of text")
+    _add_supervisor_flags(faults)
+    _add_invariants_flag(faults)
     timers = sub.add_parser("timers", help="§4.4 MLD timer sweep")
     timers.add_argument("--seed", type=int, default=0)
     timers.add_argument("--intervals", type=float, nargs="+",
@@ -667,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     timers.add_argument("--repeats", type=int, default=3)
     timers.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of text")
+    _add_invariants_flag(timers)
     trace = sub.add_parser(
         "trace",
         help="run the receiver-move scenario, export/analyze its JSONL trace",
@@ -682,6 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print the metrics registry (Prometheus text)")
     trace.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+    _add_invariants_flag(trace)
     profile = sub.add_parser("profile", help="kernel hotspot profile of one experiment")
     profile.add_argument("experiment", choices=sorted(CANNED_RUNS), nargs="?",
                          default="fig2")
@@ -690,6 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of hotspot labels to show")
     profile.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of text")
+    _add_invariants_flag(profile)
     return parser
 
 
@@ -699,7 +755,23 @@ def main(argv=None) -> None:
     if args.command in (None, "list"):
         print("experiments:", ", ".join(COMMANDS))
         return
-    COMMANDS[args.command](args)
+    if getattr(args, "check_invariants", False):
+        # Environment, not a parameter: worker processes inherit it, so
+        # every PaperScenario — local or in a campaign shard —
+        # self-attaches an escalating InvariantMonitor.
+        from .invariants import ENV_FLAG
+
+        os.environ[ENV_FLAG] = "1"
+    from .invariants import InvariantViolationError
+
+    try:
+        COMMANDS[args.command](args)
+    except InvariantViolationError as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        sys.exit(3)
+    except CampaignError as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":  # pragma: no cover

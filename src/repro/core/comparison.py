@@ -142,6 +142,7 @@ def receiver_mobility_run(
 
     signaling = after_settle.delta(before_move)
     ha = sc.paper.router("D")
+    sc.finish()
     return {
         "approach": approach.key,
         "title": approach.title,
@@ -197,6 +198,7 @@ def sender_mobility_run(
     interruption = max(gaps) if gaps else None
 
     home_agent = sc.paper.router("A")
+    sc.finish()
     return {
         "approach": approach.key,
         "title": approach.title,
@@ -370,7 +372,7 @@ def run_full_comparison(
         runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir, master_seed=seed)
     rows = runner.run(
         comparison_cells(seed, approaches, measure_leave, mld)
-    ).results()
+    ).require_success().results()
 
     n = len(list(approaches))
     report = ComparisonReport(

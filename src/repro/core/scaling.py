@@ -49,7 +49,7 @@ def _run_grid(
 ) -> List[Dict[str, Any]]:
     if runner is None:
         runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir, master_seed=seed)
-    return runner.run(grid.cells()).results()
+    return runner.run(grid.cells()).require_success().results()
 
 
 def ha_load_mobiles_cell(
@@ -77,6 +77,7 @@ def ha_load_mobiles_cell(
     base_encap = d.load["encapsulations"]
     base_tunneled = d.tunneled_to_mobiles
     sc.run_for(measure_window)
+    sc.finish()
     return {
         "mobiles": mobiles,
         "ha_encapsulations": d.load["encapsulations"] - base_encap,
@@ -137,6 +138,7 @@ def ha_load_groups_cell(
     d = sc.paper.router("D")
     base = d.load["encapsulations"]
     sc.run_for(measure_window)
+    sc.finish()
     return {
         "groups": groups,
         "ha_encapsulations": d.load["encapsulations"] - base,
@@ -182,6 +184,7 @@ def ha_load_rate_cell(
     d = sc.paper.router("D")
     base = d.load["encapsulations"]
     sc.run_for(measure_window)
+    sc.finish()
     return {
         "packets_per_s": round(1.0 / packet_interval, 1),
         "ha_encapsulations": d.load["encapsulations"] - base,

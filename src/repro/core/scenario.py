@@ -50,6 +50,11 @@ class ScenarioConfig:
     converge_until: float = 30.0
     link_delay: float = 0.5e-3
     link_bandwidth_bps: float = 100e6
+    #: attach :mod:`repro.invariants` oracles in escalate mode.  None
+    #: defers to the ``REPRO_CHECK_INVARIANTS`` environment variable
+    #: (the ``--check-invariants`` CLI flag), which worker processes
+    #: inherit — so campaign cells are audited too.
+    check_invariants: Optional[bool] = None
 
 
 class PaperScenario:
@@ -82,6 +87,13 @@ class PaperScenario:
             flow="S-flow",
         )
         self._converged = False
+        self.invariants = None
+        from ..invariants import InvariantMonitor, checking_enabled
+
+        if cfg.check_invariants or (
+            cfg.check_invariants is None and checking_enabled()
+        ):
+            self.invariants = InvariantMonitor(self.net, escalate=True).attach()
 
     # ------------------------------------------------------------------
     # canned phases
@@ -103,6 +115,15 @@ class PaperScenario:
 
     def run_until(self, time: float) -> None:
         self.net.run(until=time)
+
+    def finish(self) -> None:
+        """Run the invariant liveness sweeps; raise on any breach.
+
+        No-op when no monitor is attached, so every experiment can call
+        it unconditionally at the end of its run.
+        """
+        if self.invariants is not None:
+            self.invariants.check()
 
     def run_for(self, duration: float) -> None:
         self.net.run(until=self.net.now + duration)

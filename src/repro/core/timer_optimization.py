@@ -143,7 +143,7 @@ def run_timer_sweep(
     cells = timer_sweep_cells(
         query_intervals, seeds, move_link, base_mld, packet_interval
     )
-    rows = iter(runner.run(cells).results())
+    rows = iter(runner.run(cells).require_success().results())
 
     points: List[TimerSweepPoint] = []
     for qi in query_intervals:
@@ -206,6 +206,7 @@ def timer_point_run(
     after = sc.metrics.snapshot()
     delta = after.delta(before)
     duration = after.time - before.time
+    sc.finish()
     return {
         "query_interval": query_interval,
         "seed": seed,

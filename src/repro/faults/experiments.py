@@ -169,6 +169,7 @@ def loss_receiver_run(
     row["link_loss_drops"] = sc.net.stats.link_drops(move_link, "link-loss")
     row["frames_lost"] = sc.net.link(move_link).frames_lost
     row["faults_fired"] = injector.fired
+    sc.finish()
     return row
 
 
@@ -228,6 +229,7 @@ def ha_crash_run(
     )
     row["crash_drops"] = sc.net.stats.total_drops("node-crashed")
     row["faults_fired"] = injector.fired
+    sc.finish()
     return row
 
 
@@ -301,7 +303,7 @@ def run_fault_sweep(
     cells = fault_sweep_cells(
         loss_rates, approaches, seed, model, run_until, packet_interval
     )
-    return runner.run(cells).results()
+    return runner.run(cells).require_success().results()
 
 
 def run_crash_study(
@@ -318,7 +320,7 @@ def run_crash_study(
     cells = crash_cells(
         approaches, seed, crash_at, crash_duration, run_until, packet_interval
     )
-    return runner.run(cells).results()
+    return runner.run(cells).require_success().results()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,82 @@
+"""Runtime protocol invariant oracles (safety + liveness).
+
+Always-on auditing of the reproduction's protocol state, motivated by
+HPIM-DM's observation that dense-mode correctness hinges on
+state-machine legality and by Helmy's argument that mobility-driven
+multicast state must be checked continuously rather than spot-checked.
+
+Four oracles ship by default (see their modules for rule semantics):
+
+* :class:`PimDmOracle` — no forwarding on a pruned interface within
+  the prune lifetime, every Graft acked or retried, assert-winner
+  uniqueness per link (persistent duplicate forwarding),
+* :class:`MldConsistencyOracle` — router listener state ⊆ actual host
+  memberships after the robustness-variable settling window,
+* :class:`Mipv6CoherenceOracle` — binding caches never serve a stale
+  care-of address after BU ack; no tunneling to an at-home mobile,
+* :class:`KernelSanityOracle` — monotonic event time, no dispatch of a
+  cancelled event.
+
+Attach them with::
+
+    from repro.invariants import InvariantMonitor
+    monitor = InvariantMonitor(net).attach()
+    ...
+    monitor.check()      # finalize liveness sweeps, raise on breaches
+
+or globally via the ``REPRO_CHECK_INVARIANTS`` environment variable
+(set by the ``--check-invariants`` CLI flag): every
+:class:`~repro.core.scenario.PaperScenario` then self-attaches a
+monitor in escalate mode — including inside campaign worker
+processes, which inherit the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from .base import (
+    VIOLATION_CATEGORY,
+    InvariantMonitor,
+    InvariantViolation,
+    InvariantViolationError,
+    Oracle,
+)
+from .kernel import KernelSanityOracle
+from .mipv6 import Mipv6CoherenceOracle
+from .mld import MldConsistencyOracle
+from .pimdm import PimDmOracle
+
+__all__ = [
+    "VIOLATION_CATEGORY",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "KernelSanityOracle",
+    "MldConsistencyOracle",
+    "Mipv6CoherenceOracle",
+    "Oracle",
+    "PimDmOracle",
+    "checking_enabled",
+    "default_oracles",
+]
+
+#: environment switch the ``--check-invariants`` CLI flag sets; worker
+#: processes inherit it, so campaign cells are checked too
+ENV_FLAG = "REPRO_CHECK_INVARIANTS"
+
+
+def checking_enabled() -> bool:
+    """True when runs should self-attach an escalating monitor."""
+    return os.environ.get(ENV_FLAG, "").strip().lower() not in ("", "0", "false")
+
+
+def default_oracles() -> List[Oracle]:
+    """A fresh instance of every stock oracle."""
+    return [
+        KernelSanityOracle(),
+        PimDmOracle(),
+        MldConsistencyOracle(),
+        Mipv6CoherenceOracle(),
+    ]

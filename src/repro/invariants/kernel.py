@@ -1,0 +1,71 @@
+"""Kernel sanity oracle: the scheduler itself must stay legal.
+
+Checks, per dispatched event (via :meth:`Simulator.set_dispatch_hook`):
+
+* ``time-regression`` — event time must never run backwards: the
+  kernel's heap ordering guarantees monotonic dispatch, so a dispatch
+  below the high-water mark means the event's ``time`` was mutated
+  after scheduling (heap order and event time disagree),
+* ``fired-after-cancel`` — a cancelled event must never reach
+  dispatch,
+* ``double-dispatch`` — an event must not execute twice.
+
+The per-event cost is a few attribute reads and comparisons, so the
+oracle stays inside the <5% overhead budget
+(``benchmarks/test_bench_invariants.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.kernel import Event, Simulator
+from .base import Oracle
+
+__all__ = ["KernelSanityOracle"]
+
+
+class KernelSanityOracle(Oracle):
+    name = "kernel"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_time = float("-inf")
+        self._chained = None
+        self._sim: Optional[Simulator] = None
+
+    def routes(self):
+        return {}  # no trace events: this oracle lives on the dispatch hook
+
+    def install(self, sim: Simulator) -> None:
+        """Hook into the kernel dispatch loop (chains an existing hook)."""
+        self._sim = sim
+        self._chained = sim.dispatch_hook
+        sim.set_dispatch_hook(self.on_dispatch)
+
+    def uninstall(self) -> None:
+        if self._sim is not None and self._sim.dispatch_hook is self.on_dispatch:
+            self._sim.set_dispatch_hook(self._chained)
+
+    def on_dispatch(self, event: Event) -> None:
+        t = event.time
+        if t >= self._last_time and not event.cancelled and not event.dispatched:
+            self._last_time = t  # the legal fast path: one branch
+        else:
+            self._report(event, t)
+        if self._chained is not None:
+            self._chained(event)
+
+    def _report(self, event: Event, t: float) -> None:
+        label = event.label or getattr(event.fn, "__qualname__", "?")
+        if t < self._last_time:
+            self.violate(
+                "time-regression", "kernel",
+                event=label, time=t, high_water=self._last_time,
+            )
+        else:
+            self._last_time = t
+        if event.cancelled:
+            self.violate("fired-after-cancel", "kernel", event=label, time=t)
+        if event.dispatched:
+            self.violate("double-dispatch", "kernel", event=label, time=t)

@@ -1,0 +1,130 @@
+"""MIPv6 coherence oracle: binding caches must track reality.
+
+Rules over the ``mipv6`` / ``mobility`` trace vocabulary plus live
+binding-cache and mobile-node state:
+
+``binding-coa-unknown``
+    A home agent registered/refreshed a binding whose care-of address
+    was never configured by the mobile node owning that home address.
+
+``binding-sequence-regressed``
+    After a Binding Update is accepted, the cached sequence number must
+    never move backwards (an older, staler BU overwrote a newer one).
+
+``tunnel-stale-coa``
+    Every tunneled datagram must target exactly the care-of address of
+    the *latest acknowledged* Binding Update for that home address —
+    i.e. the cache entry was corrupted between BU processing and use.
+
+``tunnel-to-home-mn``
+    A home agent must never tunnel to a mobile node that is currently
+    at home (the binding should have been deregistered, and home-link
+    delivery is native).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from ..net.addressing import Address
+from ..sim.trace import TraceEvent
+from .base import Oracle
+
+__all__ = ["Mipv6CoherenceOracle"]
+
+_TUNNEL_EVENTS = ("tunnel-mcast-to-mn", "tunnel-unicast-to-mn")
+
+
+class Mipv6CoherenceOracle(Oracle):
+    name = "mipv6"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (home agent, home address) -> (acked coa, acked sequence)
+        self._acked: Dict[Tuple[str, str], Tuple[str, Optional[int]]] = {}
+        #: home address -> every care-of address its MN ever configured
+        self._configured: Dict[str, Set[str]] = {}
+        self._mobiles: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    def _mobile_for(self, home: str):
+        if self._mobiles is None:
+            self._mobiles = {
+                str(node.home_address): node
+                for node in self.net.nodes.values()
+                if getattr(node, "home_address", None) is not None
+            }
+        return self._mobiles.get(home)
+
+    # ------------------------------------------------------------------
+    def routes(self) -> Dict[str, Callable[[TraceEvent], None]]:
+        return {
+            "mipv6": self._on_mipv6,
+            "mobility": self._on_mobility,
+            "fault": self._on_fault,
+        }
+
+    def _on_mobility(self, ev: TraceEvent) -> None:
+        if ev.detail.get("event") == "coa-configured":
+            mn = self.net.nodes.get(ev.node)
+            home = getattr(mn, "home_address", None)
+            if home is not None:
+                self._configured.setdefault(str(home), set()).add(
+                    ev.detail["coa"]
+                )
+
+    def _on_fault(self, ev: TraceEvent) -> None:
+        if ev.detail.get("event") == "node-crash":
+            # A crashed HA loses its cache without deregistration events.
+            for key in [k for k in self._acked if k[0] == ev.node]:
+                del self._acked[key]
+
+    def _on_mipv6(self, ev: TraceEvent) -> None:
+        event = ev.detail.get("event")
+        if event in ("binding-registered", "binding-refreshed"):
+            self._on_registered(ev)
+        elif event in ("binding-deregistered", "binding-expired"):
+            self._acked.pop((ev.node, ev.detail.get("home")), None)
+        elif event in _TUNNEL_EVENTS:
+            self._on_tunnel(ev)
+
+    # ------------------------------------------------------------------
+    def _on_registered(self, ev: TraceEvent) -> None:
+        home, coa = ev.detail.get("home"), ev.detail.get("coa")
+        known = self._configured.get(home)
+        if self._mobile_for(home) is not None and (known is None or coa not in known):
+            self.violate(
+                "binding-coa-unknown", ev.node, home=home, coa=coa,
+                configured=sorted(known or ()),
+            )
+        sequence = None
+        ha = self.net.nodes.get(ev.node)
+        cache = getattr(ha, "binding_cache", None)
+        if cache is not None:
+            entry = cache.get(Address(home))
+            if entry is not None:
+                sequence = entry.sequence
+        previous = self._acked.get((ev.node, home))
+        if (
+            previous is not None
+            and previous[1] is not None
+            and sequence is not None
+            and sequence < previous[1]
+        ):
+            self.violate(
+                "binding-sequence-regressed", ev.node, home=home,
+                sequence=sequence, previous=previous[1],
+            )
+        self._acked[(ev.node, home)] = (coa, sequence)
+
+    def _on_tunnel(self, ev: TraceEvent) -> None:
+        home, coa = ev.detail.get("home"), ev.detail.get("coa")
+        acked = self._acked.get((ev.node, home))
+        if acked is not None and coa != acked[0]:
+            self.violate(
+                "tunnel-stale-coa", ev.node, home=home,
+                coa=coa, acked=acked[0],
+            )
+        mn = self._mobile_for(home)
+        if mn is not None and mn.at_home:
+            self.violate("tunnel-to-home-mn", ev.node, home=home, coa=coa)

@@ -1,0 +1,94 @@
+"""MLD consistency oracle: router listener state ⊆ host memberships.
+
+A router's *dynamic* membership record (learned from Reports, not a
+static join) claims "there is a listener for group G on this link".
+The claim may be stale — MLD cannot see a host leave a link — but only
+within the robustness-variable settling window: every record expires
+``multicast_listener_interval`` (T_MLI = robustness × T_Query +
+T_RespDel) after the last Report, and the last Report from a departed
+host predates its departure.
+
+The oracle therefore tracks, per (router, interface, group), how long
+the router has believed in members that no attached host actually has
+(``orphaned``).  A belief orphaned for longer than T_MLI plus a small
+response-delay slack is a violation: the router's timer machinery
+failed to expire the record.
+
+The scan is state-based (live ``_memberships`` vs. live host
+``mld.groups``) and re-evaluated on every ``mld`` / ``mobility`` /
+``fault`` trace event — the only moments membership truth can change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..sim.trace import TraceEvent
+from .base import Oracle
+
+__all__ = ["MldConsistencyOracle"]
+
+#: extra grace on top of T_MLI (covers the max response delay rounding)
+MLI_SLACK = 2.0
+
+_TRIGGERS = ("mld", "mobility", "fault")
+
+
+class MldConsistencyOracle(Oracle):
+    name = "mld"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (router, iface uid, group int) -> (orphaned-since, reported?)
+        self._orphans: Dict[Tuple[str, int, int], list] = {}
+
+    # ------------------------------------------------------------------
+    def routes(self) -> Dict[str, Callable[[TraceEvent], None]]:
+        return {category: self._on_trigger for category in _TRIGGERS}
+
+    def _on_trigger(self, ev: TraceEvent) -> None:
+        self._rescan(ev.time)
+
+    def finalize(self) -> None:
+        self._rescan(self.sim.now)
+
+    # ------------------------------------------------------------------
+    def _rescan(self, now: float) -> None:
+        live = set()
+        for router in self.net.routers():
+            mld = getattr(router, "mld_router", None)
+            if mld is None:
+                continue
+            allowed = (
+                mld.config.multicast_listener_interval
+                + mld.config.query_response_interval
+                + MLI_SLACK
+            )
+            for (iface_uid, group_int), record in mld._memberships.items():
+                if not record.active or record.static_refcount > 0:
+                    continue
+                link = record.iface.link
+                if link is None or self._has_listener(link, record.group):
+                    continue
+                key = (router.name, iface_uid, group_int)
+                live.add(key)
+                state = self._orphans.get(key)
+                if state is None:
+                    self._orphans[key] = state = [now, False]
+                elif not state[1] and now - state[0] > allowed:
+                    state[1] = True
+                    self.violate(
+                        "stale-listener-state", router.name,
+                        iface=record.iface.name, group=str(record.group),
+                        orphaned_since=state[0], allowed=allowed,
+                    )
+        for key in [k for k in self._orphans if k not in live]:
+            del self._orphans[key]
+
+    @staticmethod
+    def _has_listener(link, group) -> bool:
+        for iface in link.interfaces:
+            mld_host = getattr(iface.node, "mld", None)
+            if mld_host is not None and group in mld_host.groups:
+                return True
+        return False

@@ -1,0 +1,272 @@
+"""PIM-DM state-legality oracle.
+
+Three rules over the ``pim`` / ``pim.state`` / ``mcast.forward`` trace
+vocabulary (driven purely by events; router configs are read live for
+the timer bounds):
+
+``forward-on-pruned-oif``
+    After ``oif-pruned`` on an interface, the router must not forward
+    the (S,G) flow onto that interface's link until the prune state is
+    cleared (``oif-prune-expired``, ``oif-grafted``, ``oif-added``) or
+    its lifetime (``prune_hold_time``) runs out.
+
+``forward-while-assert-loser``
+    After losing an assert election on an interface
+    (``assert-lost``), the router must not forward the flow onto that
+    link until the loser state expires (``assert-expired``) or is
+    otherwise cleared — this is the per-link assert-winner uniqueness
+    guarantee seen from the loser's side.
+
+``graft-unacked``
+    Every ``graft-sent`` must be followed by a ``graft-acked`` or a
+    retransmitted ``graft-sent`` within ``graft_retry_interval`` plus
+    slack (liveness; checked lazily on later events and at
+    :meth:`finalize`).
+
+``parallel-forwarders-persist``
+    Duplicate forwarding — two different routers forwarding the *same*
+    datagram (packet uid) onto the *same* link — is legal only as an
+    assert transient.  A duplicate streak persisting beyond the
+    settling window means the assert election never converged on a
+    unique winner for that link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..sim.trace import TraceEvent
+from .base import Oracle
+
+__all__ = ["PimDmOracle"]
+
+#: slack on the graft-retry liveness deadline (ack propagation etc.)
+GRAFT_SLACK = 0.5
+#: duplicates of one packet uid are matched within at least this
+#: window (two-generation rotation: at most twice it)
+DUP_WINDOW = 1.0
+#: a duplicate streak with gaps below this is one unresolved election
+STREAK_GAP = 1.0
+#: how long parallel forwarding may persist before it is a violation
+ASSERT_SETTLE = 5.0
+
+
+class PimDmOracle(Oracle):
+    name = "pimdm"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (node, link, source, group) -> [prune deadline, loser deadline]
+        #: (one combined table so the forward hot path pays a single
+        #: tuple construction and dict probe per link)
+        self._blocked: Dict[Tuple[str, str, str, str], List[Optional[float]]] = {}
+        #: (node, source, group) -> ack-or-retry deadline
+        self._grafts: Dict[Tuple[str, str, str], float] = {}
+        #: (uid, link) -> forwarding node, in a two-generation rotating
+        #: window (each generation spans DUP_WINDOW; lookups check both,
+        #: so a duplicate is matched within [DUP_WINDOW, 2*DUP_WINDOW])
+        self._fwd_cur: Dict[Tuple[int, str], str] = {}
+        self._fwd_prev: Dict[Tuple[int, str], str] = {}
+        self._fwd_gen_start = float("-inf")
+        #: (link, source, group) -> [streak_start, last_dup, violated]
+        self._streaks: Dict[Tuple[str, str, str], List] = {}
+        #: links where >= 2 PIM routers attach (computed on first use):
+        #: only these can ever see parallel forwarders
+        self._contested: Optional[Set[str]] = None
+
+    # ------------------------------------------------------------------
+    def _link_of(self, node_name: str, iface_name: str) -> Optional[str]:
+        node = self.net.nodes.get(node_name)
+        if node is None:
+            return None
+        for iface in node.interfaces:
+            if iface.name == iface_name and iface.link is not None:
+                return iface.link.name
+        return None
+
+    def _graft_interval(self, node_name: str) -> float:
+        node = self.net.nodes.get(node_name)
+        pim = getattr(node, "pim", None)
+        return pim.config.graft_retry_interval if pim is not None else 3.0
+
+    def _prune_hold(self, node_name: str) -> float:
+        node = self.net.nodes.get(node_name)
+        pim = getattr(node, "pim", None)
+        return pim.config.prune_hold_time if pim is not None else 210.0
+
+    def _contested_links(self) -> Set[str]:
+        if self._contested is None:
+            self._contested = set()
+            for name, link in self.net.links.items():
+                routers = sum(
+                    1 for iface in link.interfaces
+                    if getattr(iface.node, "pim", None) is not None
+                )
+                if routers >= 2:
+                    self._contested.add(name)
+        return self._contested
+
+    # ------------------------------------------------------------------
+    def routes(self) -> Dict[str, Callable[[TraceEvent], None]]:
+        return {
+            "mcast.forward": self._on_forward,
+            "pim.state": self._on_pim_state,
+            "pim": self._on_pim,
+            "fault": self._on_fault,
+        }
+
+    def _on_fault(self, ev: TraceEvent) -> None:
+        if ev.detail.get("event") == "node-crash":
+            self._drop_node(ev.node)
+
+    # -- blocked-state bookkeeping (slot 0 = pruned, slot 1 = loser) ----
+    def _block(self, key, slot: int, deadline: float) -> None:
+        state = self._blocked.get(key)
+        if state is None:
+            state = self._blocked[key] = [None, None]
+        state[slot] = deadline
+
+    def _unblock(self, key, slot: int) -> None:
+        state = self._blocked.get(key)
+        if state is not None:
+            state[slot] = None
+            if state[0] is None and state[1] is None:
+                del self._blocked[key]
+
+    # -- state transitions ---------------------------------------------
+    def _on_pim_state(self, ev: TraceEvent) -> None:
+        event = ev.detail.get("event")
+        source, group = ev.detail.get("source"), ev.detail.get("group")
+        if event == "oif-pruned":
+            link = self._link_of(ev.node, ev.detail["iface"])
+            if link is not None:
+                deadline = ev.time + self._prune_hold(ev.node)
+                self._block((ev.node, link, source, group), 0, deadline)
+        elif event in ("oif-prune-expired", "oif-grafted", "oif-added"):
+            link = self._link_of(ev.node, ev.detail["iface"])
+            if link is not None:
+                self._unblock((ev.node, link, source, group), 0)
+        elif event == "entry-expired":
+            self._grafts.pop((ev.node, source, group), None)
+            for key in [k for k in self._blocked if k[0] == ev.node
+                        and k[2] == source and k[3] == group]:
+                del self._blocked[key]
+
+    def _on_pim(self, ev: TraceEvent) -> None:
+        if self._grafts:
+            self._check_graft_deadlines(ev.time)
+        event = ev.detail.get("event")
+        source, group = ev.detail.get("source"), ev.detail.get("group")
+        if event == "graft-sent":
+            deadline = ev.time + self._graft_interval(ev.node) + GRAFT_SLACK
+            self._grafts[(ev.node, source, group)] = deadline
+        elif event == "graft-acked":
+            self._grafts.pop((ev.node, source, group), None)
+        elif event == "assert-lost":
+            link = self._link_of(ev.node, ev.detail["iface"])
+            if link is not None:
+                node = self.net.nodes.get(ev.node)
+                pim = getattr(node, "pim", None)
+                hold = pim.config.assert_time if pim is not None else 180.0
+                self._block((ev.node, link, source, group), 1, ev.time + hold)
+        elif event == "assert-expired":
+            link = self._link_of(ev.node, ev.detail["iface"])
+            if link is not None:
+                self._unblock((ev.node, link, source, group), 1)
+
+    def _drop_node(self, node_name: str) -> None:
+        for key in [k for k in self._blocked if k[0] == node_name]:
+            del self._blocked[key]
+        for key in [k for k in self._grafts if k[0] == node_name]:
+            del self._grafts[key]
+
+    # -- safety checks on the data path --------------------------------
+    def _on_forward(self, ev: TraceEvent) -> None:
+        if self._grafts:
+            self._check_graft_deadlines(ev.time)
+        node = ev.node
+        detail = ev.detail
+        source, group = detail.get("source"), detail.get("group")
+        uid = detail.get("uid")
+        now = ev.time
+        blocked = self._blocked
+        contested = self._contested
+        if contested is None:
+            contested = self._contested_links()
+        for link in detail.get("links", ()):
+            if blocked:
+                state = blocked.get((node, link, source, group))
+                if state is not None:
+                    self._check_blocked(state, node, link, source, group, now)
+            if uid is not None and link in contested:
+                self._track_duplicate(node, link, source, group, uid, now)
+
+    def _check_blocked(
+        self, state, node: str, link: str, source: str, group: str, now: float
+    ) -> None:
+        pruned_until, loser_until = state
+        if pruned_until is not None:
+            if now <= pruned_until:
+                self.violate(
+                    "forward-on-pruned-oif", node,
+                    link=link, source=source, group=group,
+                    pruned_until=pruned_until,
+                )
+            else:
+                # prune lifetime over: forwarding legally resumed, even
+                # if the expiry event itself went untraced
+                self._unblock((node, link, source, group), 0)
+        if loser_until is not None:
+            if now <= loser_until:
+                self.violate(
+                    "forward-while-assert-loser", node,
+                    link=link, source=source, group=group,
+                    loser_until=loser_until,
+                )
+            else:
+                self._unblock((node, link, source, group), 1)
+
+    def _track_duplicate(
+        self, node: str, link: str, source: str, group: str, uid: int, now: float
+    ) -> None:
+        if now - self._fwd_gen_start > DUP_WINDOW:
+            self._fwd_prev = self._fwd_cur
+            self._fwd_cur = {}
+            self._fwd_gen_start = now
+        key = (uid, link)
+        other = self._fwd_cur.get(key)
+        if other is None:
+            other = self._fwd_prev.get(key)
+        if other is None:
+            self._fwd_cur[key] = node
+            return
+        if other == node:
+            return
+        streak = self._streaks.get((link, source, group))
+        if streak is None or now - streak[1] > STREAK_GAP:
+            streak = [now, now, False]
+            self._streaks[(link, source, group)] = streak
+        streak[1] = now
+        if not streak[2] and now - streak[0] > ASSERT_SETTLE:
+            streak[2] = True
+            self.violate(
+                "parallel-forwarders-persist", node,
+                link=link, source=source, group=group,
+                since=streak[0], other=other,
+            )
+
+    # -- liveness -------------------------------------------------------
+    def _check_graft_deadlines(self, now: float) -> None:
+        if not self._grafts:
+            return
+        for key, deadline in list(self._grafts.items()):
+            if now > deadline:
+                del self._grafts[key]
+                node, source, group = key
+                self.violate(
+                    "graft-unacked", node,
+                    source=source, group=group, deadline=deadline,
+                )
+
+    def finalize(self) -> None:
+        self._check_graft_deadlines(self.sim.now)

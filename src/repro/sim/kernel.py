@@ -119,6 +119,7 @@ class Simulator:
         self._dispatched_count = 0
         self._pending_count = 0
         self._profiler: Optional[Any] = None
+        self._dispatch_hook: Optional[Callable[["Event"], None]] = None
 
     # ------------------------------------------------------------------
     # time
@@ -159,6 +160,23 @@ class Simulator:
     @property
     def profiler(self) -> Optional[Any]:
         return self._profiler
+
+    def set_dispatch_hook(self, hook: Optional[Callable[["Event"], None]]) -> None:
+        """Install (or remove, with None) a pre-dispatch inspection hook.
+
+        The hook is called with each :class:`Event` immediately before
+        its callback executes — before the clock advances — so it can
+        audit kernel legality (monotonic event time, no dispatch of a
+        cancelled event); see
+        :class:`repro.invariants.kernel.KernelSanityOracle`.  With no
+        hook installed the dispatch loop pays one ``is None`` check per
+        event.
+        """
+        self._dispatch_hook = hook
+
+    @property
+    def dispatch_hook(self) -> Optional[Callable[["Event"], None]]:
+        return self._dispatch_hook
 
     # ------------------------------------------------------------------
     # scheduling
@@ -217,6 +235,8 @@ class Simulator:
             event = entry.event
             if event.cancelled:
                 continue
+            if self._dispatch_hook is not None:
+                self._dispatch_hook(event)
             self._now = event.time
             event.dispatched = True
             self._dispatched_count += 1
@@ -261,6 +281,8 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 event = entry.event
+                if self._dispatch_hook is not None:
+                    self._dispatch_hook(event)
                 self._now = event.time
                 event.dispatched = True
                 self._dispatched_count += 1

@@ -161,6 +161,9 @@ class TestProgressAndMetrics:
             "cells": 4,
             "executed": 2,
             "cached": 2,
+            "failed": 0,
+            "retries": 0,
+            "pool_restarts": 0,
             "jobs": 1,
             "wall_clock": runner.stats()["wall_clock"],
         }

@@ -1,0 +1,87 @@
+"""Legal runs must be violation-free — and unperturbed by the oracles.
+
+The flip side of ``test_seeded_violations.py``: every golden scenario
+and both PR 3 fault experiments run clean under invariant checking,
+and enabling the oracles changes neither trace-visible behavior nor
+result payloads (the monitor is a passive listener).
+"""
+
+import json
+
+import pytest
+
+from repro.core import BIDIRECTIONAL_TUNNEL, LOCAL_MEMBERSHIP
+from repro.core.goldens import CANNED_RUNS, run_canned
+from repro.invariants import ENV_FLAG, checking_enabled
+
+
+@pytest.mark.parametrize("name", sorted(CANNED_RUNS))
+def test_golden_scenarios_run_clean(name, monkeypatch):
+    monkeypatch.setenv(ENV_FLAG, "1")
+    assert checking_enabled()
+    sc = run_canned(name, seed=0)
+    assert sc.invariants is not None  # self-attached from the environment
+    sc.finish()  # escalate mode: raises on any breach
+    assert sc.invariants.violations == []
+
+
+def test_env_flag_off_means_no_monitor(monkeypatch):
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    sc = run_canned("fig1", seed=0)
+    assert sc.invariants is None
+    sc.finish()  # still a safe no-op
+
+
+def test_oracles_do_not_perturb_results(monkeypatch):
+    """A monitored fig2 run yields the same digest as an unmonitored one."""
+    from repro.core.comparison import receiver_mobility_run
+
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    plain = receiver_mobility_run(LOCAL_MEMBERSHIP, seed=0)
+    monkeypatch.setenv(ENV_FLAG, "1")
+    checked = receiver_mobility_run(LOCAL_MEMBERSHIP, seed=0)
+    assert json.dumps(plain, sort_keys=True) == json.dumps(
+        checked, sort_keys=True
+    )
+
+
+class TestFaultExperimentsRunClean:
+    """PR 3's adversarial fault plans stay within the protocol invariants
+    (loss and crashes are legal events; only buggy state machines are
+    violations) — and the oracles do not change the measured rows."""
+
+    def test_loss_receiver_run(self, monkeypatch):
+        from repro.faults.experiments import loss_receiver_run
+
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        plain = loss_receiver_run(LOCAL_MEMBERSHIP, seed=0, loss_rate=0.05)
+        monkeypatch.setenv(ENV_FLAG, "1")
+        checked = loss_receiver_run(LOCAL_MEMBERSHIP, seed=0, loss_rate=0.05)
+        assert json.dumps(plain, sort_keys=True) == json.dumps(
+            checked, sort_keys=True
+        )
+
+    def test_ha_crash_run(self, monkeypatch):
+        from repro.faults.experiments import ha_crash_run
+
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        plain = ha_crash_run(BIDIRECTIONAL_TUNNEL, seed=0)
+        monkeypatch.setenv(ENV_FLAG, "1")
+        checked = ha_crash_run(BIDIRECTIONAL_TUNNEL, seed=0)
+        assert json.dumps(plain, sort_keys=True) == json.dumps(
+            checked, sort_keys=True
+        )
+
+
+def test_monitor_emits_no_trace_events_when_legal(monkeypatch):
+    """Attached oracles leave the trace untouched on a legal run, so
+    golden digests are identical with and without checking."""
+    monkeypatch.delenv(ENV_FLAG, raising=False)
+    plain = run_canned("fig3", seed=0)
+    monkeypatch.setenv(ENV_FLAG, "1")
+    monitored = run_canned("fig3", seed=0)
+    monitored.finish()
+    assert (
+        list(monitored.net.tracer.query(category="invariant.violation")) == []
+    )
+    assert len(monitored.net.tracer.events) == len(plain.net.tracer.events)
