@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the kernel/campaign macro-benchmarks.
+
+Equivalent to ``python -m repro bench``; exists so the benchmark
+harness can be run straight from a checkout without installing::
+
+    python benchmarks/bench_runner.py --quick
+    python benchmarks/bench_runner.py --baseline \\
+        benchmarks/results/bench_kernel_baseline.json
+
+Writes ``BENCH_KERNEL.json`` (schema ``bench-kernel/v1``; see
+docs/PERFORMANCE.md for how to read and diff it).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.cli import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    main(["bench", *sys.argv[1:]])

@@ -29,6 +29,12 @@ Observability (see docs/OBSERVABILITY.md)::
     python -m repro trace --import run.jsonl   # same numbers, offline
     python -m repro trace --metrics            # Prometheus-text metrics
     python -m repro profile fig2 --top 10      # kernel hotspot report
+
+Performance baselines (see docs/PERFORMANCE.md)::
+
+    python -m repro bench                      # -> BENCH_KERNEL.json
+    python -m repro bench --quick --baseline \\
+        benchmarks/results/bench_kernel_baseline.json   # CI gate
 """
 
 from __future__ import annotations
@@ -559,6 +565,27 @@ def _trace(args: argparse.Namespace) -> None:
         print(registry.render_prometheus(), end="")
 
 
+def _bench(args: argparse.Namespace) -> None:
+    from .bench import main_bench
+
+    if args.tolerance is not None and not 0.0 <= args.tolerance < 1.0:
+        raise SystemExit(
+            f"error: --tolerance must be in [0, 1), got {args.tolerance}"
+        )
+    if args.scale <= 0:
+        raise SystemExit(f"error: --scale must be positive, got {args.scale}")
+    code = main_bench(
+        quick=args.quick,
+        scale=args.scale,
+        output=args.output,
+        baseline=args.baseline,
+        tolerance=args.tolerance,
+        as_json=args.json,
+    )
+    if code != 0:
+        sys.exit(code)
+
+
 def _profile(args: argparse.Namespace) -> None:
     recipe = CANNED_RUNS[args.experiment]
     sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=recipe.approach))
@@ -604,6 +631,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "report": _report,
     "trace": _trace,
     "profile": _profile,
+    "bench": _bench,
 }
 
 
@@ -737,6 +765,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
     _add_invariants_flag(trace)
+    bench = sub.add_parser(
+        "bench",
+        help="kernel/campaign macro-benchmarks -> BENCH_KERNEL.json "
+        "(see docs/PERFORMANCE.md)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke profile: quartered event counts, "
+                       "campaign phase skipped")
+    bench.add_argument("--output", "-o", default="BENCH_KERNEL.json",
+                       metavar="PATH",
+                       help="where to write the report "
+                       "(default: BENCH_KERNEL.json)")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="compare against this committed report and exit "
+                       "1 if any phase's events/sec regresses beyond the "
+                       "tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.2,
+                       help="allowed fractional events/sec regression "
+                       "against --baseline (default: 0.2)")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="multiply phase event counts (testing aid)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the full report JSON instead of the "
+                       "summary table")
     profile = sub.add_parser("profile", help="kernel hotspot profile of one experiment")
     profile.add_argument("experiment", choices=sorted(CANNED_RUNS), nargs="?",
                          default="fig2")

@@ -183,7 +183,11 @@ class Link:
         behind each other at the link's bandwidth.
         """
         if sender not in self.interfaces:
-            return  # interface went down before the send fired
+            # The sending interface detached (mobile node moved away)
+            # before the send fired — account it like every other loss
+            # path so handoff losses are not undercounted.
+            self._drop("sender-detached", dst=str(packet.dst))
+            return
         if getattr(sender.node, "crashed", False):
             # A crashed node transmits nothing — stray callbacks scheduled
             # before the crash (raw events, not cancellable timers) die here.
@@ -203,8 +207,12 @@ class Link:
                 return
         if self.stats is not None:
             self.stats.account(self.name, packet)
-        if self.tracer is not None:
-            self.tracer.record(
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("link"):
+            # wants() pre-filters before the describe()/kwargs cost:
+            # "link" is the one per-frame category and is routinely
+            # disabled for long benchmark runs.
+            tracer.record(
                 "link",
                 self.name,
                 packet=packet.describe(),
@@ -222,12 +230,14 @@ class Link:
                 arrival, self._deliver_one, l2_dst, packet, label=f"{self.name}.rx"
             )
         else:
-            for iface in list(self.interfaces):
+            # Flood delivery: scheduling does not mutate the attachment
+            # list, so iterate it directly — no per-frame list() copy.
+            schedule_at = self.sim.schedule_at
+            label = f"{self.name}.rx"
+            for iface in self.interfaces:
                 if iface is sender:
                     continue
-                self.sim.schedule_at(
-                    arrival, self._deliver_one, iface, packet, label=f"{self.name}.rx"
-                )
+                schedule_at(arrival, self._deliver_one, iface, packet, label=label)
 
     def _deliver_one(self, iface: "Interface", packet: Ipv6Packet) -> None:
         # The interface may have detached (mobile node moved) while the

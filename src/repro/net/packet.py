@@ -100,7 +100,16 @@ class Ipv6Packet:
     True
     """
 
-    __slots__ = ("src", "dst", "payload", "hop_limit", "dest_options", "uid")
+    __slots__ = (
+        "src",
+        "dst",
+        "payload",
+        "hop_limit",
+        "dest_options",
+        "uid",
+        "_size_bytes",
+        "_described",
+    )
 
     def __init__(
         self,
@@ -116,16 +125,25 @@ class Ipv6Packet:
         self.hop_limit = hop_limit
         self.dest_options: Tuple[DestinationOption, ...] = tuple(dest_options)
         self.uid = next(_packet_uid)
+        # Packets are immutable after construction (forwarding clones
+        # instead of mutating), so the wire size and trace label are
+        # computed once and memoized — both are recomputed per hop on
+        # the Link.transmit hot path otherwise.
+        self._size_bytes: Optional[int] = None
+        self._described: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
     def size_bytes(self) -> int:
         """Total wire size: base header + dest-options header + payload."""
-        return (
-            IPV6_HEADER_BYTES
-            + _options_header_bytes(self.dest_options)
-            + self.payload.size_bytes
-        )
+        size = self._size_bytes
+        if size is None:
+            size = self._size_bytes = (
+                IPV6_HEADER_BYTES
+                + _options_header_bytes(self.dest_options)
+                + self.payload.size_bytes
+            )
+        return size
 
     @property
     def is_tunneled(self) -> bool:
@@ -190,13 +208,16 @@ class Ipv6Packet:
         return clone
 
     def describe(self) -> str:
-        """Short label for traces."""
-        body = (
-            f"[{self.payload.describe()}]"
-            if isinstance(self.payload, Ipv6Packet)
-            else self.payload.describe()
-        )
-        return f"{self.src}->{self.dst} {body}"
+        """Short label for traces (memoized; packets are immutable)."""
+        described = self._described
+        if described is None:
+            body = (
+                f"[{self.payload.describe()}]"
+                if isinstance(self.payload, Ipv6Packet)
+                else self.payload.describe()
+            )
+            described = self._described = f"{self.src}->{self.dst} {body}"
+        return described
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Ipv6Packet #{self.uid} {self.describe()}>"

@@ -12,15 +12,32 @@ on a single :class:`Simulator` instance.  Determinism is guaranteed by
 Time is a float in **seconds**, matching the units the paper uses for
 every protocol timer (T_Query = 125 s, T_MLI = 260 s, data timeout =
 210 s, T_PruneDel = 3 s, ...).
+
+Performance notes (see docs/PERFORMANCE.md)
+-------------------------------------------
+Heap entries are plain ``(time, seq, event)`` tuples so the ``heapq``
+sift comparisons run entirely in C — the previous ``@dataclass
+(order=True)`` entry paid a Python-level ``__lt__`` (plus two tuple
+allocations) per comparison, dominating dispatch cost at scale.
+
+Cancellation is O(1) lazy deletion, but restart-heavy protocol
+patterns (PIM-DM restarts the 210 s (S,G) data timeout on *every*
+forwarded packet; MLD restarts T_MLI on every Report) would otherwise
+grow the heap without bound with cancelled tombstones and slow every
+``heappush`` logarithmically.  The kernel therefore tracks the number
+of cancelled entries still in the heap and **compacts** (filters +
+re-heapifies) once the cancelled fraction passes a threshold
+(:meth:`Simulator.set_compaction`).  Compaction preserves the
+``(time, seq)`` keys, so FIFO tie-breaking — and hence every golden
+trace — is unaffected.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from itertools import count
 from time import perf_counter
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -29,11 +46,9 @@ class SimulationError(RuntimeError):
     """Raised for invalid kernel operations (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    seq: int
-    event: "Event" = field(compare=False)
+#: A scheduled heap entry.  Plain tuples compare in C; ``seq`` is unique
+#: per simulator, so ``event`` is never reached by a comparison.
+_HeapEntry = Tuple[float, int, "Event"]
 
 
 class Event:
@@ -41,7 +56,7 @@ class Event:
 
     Events are returned by :meth:`Simulator.schedule` and
     :meth:`Simulator.schedule_at`.  They may be cancelled; cancellation
-    is O(1) (lazy deletion from the heap).
+    is O(1) (lazy deletion from the heap, amortized by compaction).
     """
 
     __slots__ = (
@@ -78,7 +93,7 @@ class Event:
             return
         self.cancelled = True
         if self._sim is not None:
-            self._sim._pending_count -= 1
+            self._sim._note_cancel()
 
     @property
     def pending(self) -> bool:
@@ -111,13 +126,23 @@ class Simulator:
     1.5
     """
 
+    #: Default compaction trigger: rebuild the heap once more than
+    #: COMPACT_MIN_ENTRIES cancelled tombstones accumulate *and* they
+    #: make up more than COMPACT_RATIO of the heap.
+    COMPACT_MIN_ENTRIES = 1024
+    COMPACT_RATIO = 0.5
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[_HeapEntry] = []
-        self._seq = itertools.count()
+        self._seq = count()
         self._running = False
         self._dispatched_count = 0
         self._pending_count = 0
+        self._cancelled_in_heap = 0
+        self._compactions = 0
+        self._compact_min = self.COMPACT_MIN_ENTRIES
+        self._compact_ratio = self.COMPACT_RATIO
         self._profiler: Optional[Any] = None
         self._dispatch_hook: Optional[Callable[["Event"], None]] = None
 
@@ -142,6 +167,60 @@ class Simulator:
         dispatch, instead of summing over the whole heap.
         """
         return self._pending_count
+
+    # ------------------------------------------------------------------
+    # heap health (cancelled-entry compaction)
+    # ------------------------------------------------------------------
+    @property
+    def heap_size(self) -> int:
+        """Entries physically in the heap (pending + cancelled tombstones)."""
+        return len(self._heap)
+
+    @property
+    def heap_cancelled(self) -> int:
+        """Cancelled tombstones still occupying heap slots."""
+        return self._cancelled_in_heap
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted (kernel statistic)."""
+        return self._compactions
+
+    def set_compaction(self, min_entries: int, ratio: float) -> None:
+        """Tune the cancelled-entry compaction trigger.
+
+        The heap is rebuilt (cancelled tombstones filtered out, then
+        re-heapified) whenever more than ``min_entries`` cancelled
+        entries are queued *and* they exceed ``ratio`` of the heap.
+        ``min_entries=0, ratio=0.0`` compacts on every cancellation —
+        useful in tests; the defaults amortize the O(n) rebuild over at
+        least ``min_entries`` O(1) cancellations.
+        """
+        if min_entries < 0:
+            raise ValueError(f"min_entries must be >= 0, got {min_entries!r}")
+        if not 0.0 <= ratio < 1.0:
+            raise ValueError(f"ratio must be in [0, 1), got {ratio!r}")
+        self._compact_min = min_entries
+        self._compact_ratio = ratio
+
+    def _note_cancel(self) -> None:
+        """Account one cancellation; compact when tombstones dominate."""
+        self._pending_count -= 1
+        cancelled = self._cancelled_in_heap + 1
+        self._cancelled_in_heap = cancelled
+        if cancelled >= self._compact_min and cancelled > len(self._heap) * self._compact_ratio:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones and re-heapify.
+
+        ``(time, seq)`` keys are untouched, so event ordering — including
+        FIFO tie-breaking within an instant — is exactly preserved.
+        """
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # profiling
@@ -214,7 +293,7 @@ class Simulator:
             )
         event = Event(time, fn, args, kwargs, label=label)
         event._sim = self
-        heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), event))
+        heapq.heappush(self._heap, (time, next(self._seq), event))
         self._pending_count += 1
         return event
 
@@ -225,34 +304,62 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _pop_next(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the next live event, discarding cancelled tombstones.
+
+        Returns None when the queue is exhausted or the next live event
+        lies strictly beyond ``until``.  Re-reads ``self._heap`` on
+        entry so it composes with compaction triggered by callbacks.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[2].cancelled:
+                heapq.heappop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            if until is not None and head[0] > until:
+                return None
+            heapq.heappop(heap)
+            return head[2]
+        return None
+
+    def _dispatch(self, event: Event) -> None:
+        """The single dispatch core shared by :meth:`step` and :meth:`run`:
+
+        inspection hook, clock advance, accounting, callback, profiler.
+        Having exactly one copy keeps ``step()``- and ``run()``-driven
+        executions behaviourally identical (same hooks, same counters,
+        same trace streams) — they had drifted apart when each carried
+        its own loop body.
+        """
+        if self._dispatch_hook is not None:
+            self._dispatch_hook(event)
+        self._now = event.time
+        event.dispatched = True
+        self._dispatched_count += 1
+        self._pending_count -= 1
+        profiler = self._profiler
+        if profiler is None:
+            event.fn(*event.args, **event.kwargs)
+        else:
+            started = perf_counter()
+            event.fn(*event.args, **event.kwargs)
+            profiler.account(
+                event.label or getattr(event.fn, "__qualname__", "?"),
+                perf_counter() - started,
+            )
+
     def step(self) -> bool:
         """Dispatch the single next pending event.
 
         Returns False when the queue is exhausted.
         """
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            event = entry.event
-            if event.cancelled:
-                continue
-            if self._dispatch_hook is not None:
-                self._dispatch_hook(event)
-            self._now = event.time
-            event.dispatched = True
-            self._dispatched_count += 1
-            self._pending_count -= 1
-            profiler = self._profiler
-            if profiler is None:
-                event.fn(*event.args, **event.kwargs)
-            else:
-                started = perf_counter()
-                event.fn(*event.args, **event.kwargs)
-                profiler.account(
-                    event.label or getattr(event.fn, "__qualname__", "?"),
-                    perf_counter() - started,
-                )
-            return True
-        return False
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._dispatch(event)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run the event loop.
@@ -272,31 +379,11 @@ class Simulator:
         self._running = True
         dispatched = 0
         try:
-            while self._heap:
-                entry = self._heap[0]
-                if entry.event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and entry.time > until:
+            while True:
+                event = self._pop_next(until)
+                if event is None:
                     break
-                heapq.heappop(self._heap)
-                event = entry.event
-                if self._dispatch_hook is not None:
-                    self._dispatch_hook(event)
-                self._now = event.time
-                event.dispatched = True
-                self._dispatched_count += 1
-                self._pending_count -= 1
-                profiler = self._profiler
-                if profiler is None:
-                    event.fn(*event.args, **event.kwargs)
-                else:
-                    started = perf_counter()
-                    event.fn(*event.args, **event.kwargs)
-                    profiler.account(
-                        event.label or getattr(event.fn, "__qualname__", "?"),
-                        perf_counter() - started,
-                    )
+                self._dispatch(event)
                 dispatched += 1
                 if max_events is not None and dispatched > max_events:
                     raise SimulationError(
@@ -309,9 +396,11 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._heap and self._heap[0].event.cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        return heap[0][0] if heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now:.6f} pending={self.events_pending}>"

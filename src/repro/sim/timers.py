@@ -139,13 +139,25 @@ class PeriodicTimer:
             self._event = None
 
     def set_period(self, period: float, reschedule: bool = True) -> None:
-        """Change the period; optionally re-arm the next tick with it."""
+        """Change the period; optionally re-arm the next tick with it.
+
+        Rescheduling preserves the phase already elapsed in the current
+        cycle: the next tick moves to ``previous_expiry - old_period +
+        new_period`` (clamped to now).  Arming a full new period from
+        ``now`` instead would overstate the first interval after every
+        mid-cycle change — e.g. the first optimized Query delay in the
+        §4.4 timer sweep.
+        """
         if period <= 0:
             raise ValueError(f"period must be positive, got {period!r}")
+        old_period = self.period
         self.period = period
         if reschedule and self.running:
+            cycle_start = self._event.time - old_period
             self._event.cancel()
-            self._event = self.sim.schedule(period, self._tick, label=self.name)
+            self._event = self.sim.schedule_at(
+                max(self.sim.now, cycle_start + period), self._tick, label=self.name
+            )
 
     def _tick(self) -> None:
         self._event = self.sim.schedule(self.period, self._tick, label=self.name)

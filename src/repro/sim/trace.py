@@ -28,7 +28,8 @@ category           meaning
 ``mobility``       a mobile node detached / attached / configured a CoA
 ``fault``          an injected fault fired (:mod:`repro.faults`)
 ``drop``           a link dropped a frame (reason: ``nd-failure``,
-                   ``link-loss``, ``link-down``, ``node-crashed``)
+                   ``link-loss``, ``link-down``, ``node-crashed``,
+                   ``sender-detached``)
 ``link``           transmission records (optional, high volume)
 =================  =====================================================
 """
@@ -90,18 +91,36 @@ class Tracer(TraceQueryMixin):
                 )
         self._store = TraceStore(capacity=capacity)
         self._listeners: List[Callable[[TraceEvent], None]] = []
+        #: category -> recorded? memo, so the hot path (record / wants)
+        #: is a single dict hit instead of two set probes; invalidated
+        #: by enable/disable.
+        self._active_cache: Dict[str, bool] = {}
 
     # ------------------------------------------------------------------
     def record(self, category: str, node: str, **detail: Any) -> None:
         """Record one event at the current simulation time."""
-        if category in self._disabled:
-            return
-        if self._enabled is not None and category not in self._enabled:
+        active = self._active_cache.get(category)
+        if active is None:
+            active = self._active_cache[category] = self.is_enabled(category)
+        if not active:
             return
         ev = TraceEvent(self.sim.now, category, node, detail)
         self._store.append(ev)
         for listener in self._listeners:
             listener(ev)
+
+    def wants(self, category: str) -> bool:
+        """Cached :meth:`is_enabled` for hot call sites.
+
+        High-volume producers (``Link.transmit``'s ``link`` records)
+        check this *before* building the event detail — a disabled
+        category then costs one dict lookup instead of a
+        ``packet.describe()`` plus a kwargs dict per frame.
+        """
+        active = self._active_cache.get(category)
+        if active is None:
+            active = self._active_cache[category] = self.is_enabled(category)
+        return active
 
     def add_listener(self, fn: Callable[[TraceEvent], None]) -> None:
         """Register a live listener (used by online metric collectors)."""
@@ -110,6 +129,7 @@ class Tracer(TraceQueryMixin):
     def disable(self, category: str) -> None:
         """Stop recording ``category`` (existing events are kept)."""
         self._disabled.add(category)
+        self._active_cache.clear()
 
     def enable(self, category: str) -> None:
         """(Re-)enable recording of ``category``.
@@ -120,6 +140,7 @@ class Tracer(TraceQueryMixin):
         self._disabled.discard(category)
         if self._enabled is not None:
             self._enabled.add(category)
+        self._active_cache.clear()
 
     def is_enabled(self, category: str) -> bool:
         """Would an event in ``category`` be recorded right now?"""

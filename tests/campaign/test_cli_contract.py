@@ -47,6 +47,9 @@ JSON_CONTRACTS = [
      {"experiment", "scenario", "seed", "loss_rows", "campaign"}),
     (["trace", "--json"], {"join_delay", "leave_delay", "events_total"}),
     (["profile", "fig1", "--json"], {"total_events", "entries"}),
+    (["bench", "--quick", "--scale", "0.01", "--output", "/dev/null",
+      "--json"],
+     {"schema", "schema_version", "env", "phases", "events_per_sec"}),
 ]
 
 
@@ -109,6 +112,8 @@ class TestBadArguments:
             (["sweep", "timers", "--repeats", "0"], "--repeats must be >= 1"),
             (["faults", "--loss", "1.5"], "--loss rates must be in [0, 1)"),
             (["faults", "--approaches", "bogus"], "unknown approach"),
+            (["bench", "--scale", "0"], "--scale must be positive"),
+            (["bench", "--tolerance", "1.5"], "--tolerance must be in [0, 1)"),
         ],
         ids=lambda v: " ".join(v) if isinstance(v, list) else v,
     )

@@ -88,6 +88,24 @@ class TestDelivery:
         )
         net.sim.run()  # nothing scheduled, nothing crashes
 
+    def test_transmit_after_sender_detached_accounts_drop(self):
+        """A send that fires after the interface left the link (mobile
+        handoff) is a loss like any other: it must be accounted as a
+        ``sender-detached`` drop, not silently swallowed."""
+        net, link, hosts = build(2)
+        iface = hosts[0].interfaces[0]
+        p = packet(Address("2001:db8:9::1"), Address("ff1e::1"))
+        # The protocol stack scheduled the send, then the node moved.
+        net.sim.schedule(1.0, link.transmit, iface, p)
+        net.sim.schedule_at(0.5, iface.detach)
+        net.sim.run()
+        assert net.stats.link_drops("LAN", "sender-detached") == 1
+        drops = list(net.tracer.query(category="drop", reason="sender-detached"))
+        assert len(drops) == 1
+        assert drops[0].detail["dst"] == "ff1e::1"
+        # No frame was delivered to the remaining host.
+        assert net.tracer.count(category="link") == 0
+
 
 class TestNeighborCache:
     def test_resolve_attached_address(self):

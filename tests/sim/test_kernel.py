@@ -211,7 +211,7 @@ class TestRunControl:
             else:
                 events.append(sim.schedule(rng.uniform(0.0, 10.0), lambda: None))
             assert sim.events_pending == sum(
-                1 for e in sim._heap if e.event.pending
+                1 for _, _, event in sim._heap if event.pending
             )
 
     def test_peek_next_time(self, sim):

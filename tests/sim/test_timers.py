@@ -130,6 +130,67 @@ class TestPeriodicTimer:
         sim.run(until=15.0)
         assert ticks == [10.0, 12.0, 14.0]
 
+    def test_set_period_shrink_preserves_elapsed_phase(self, sim):
+        """Shrinking mid-cycle keeps the phase already elapsed: started
+        at t=0 with period 10, shrinking to 6 at t=4 means the cycle is
+        4 s in, so the next tick lands at t=6 — not a full 6 s later."""
+        ticks = []
+        p = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=10.0)
+        p.start()
+        sim.run(until=4.0)
+        p.set_period(6.0)
+        sim.run(until=19.0)
+        assert ticks == [6.0, 12.0, 18.0]
+
+    def test_set_period_shrink_below_elapsed_fires_now(self, sim):
+        """If the elapsed phase already exceeds the new period, the tick
+        is overdue: it fires at once (clamped to now), not after
+        another full period."""
+        ticks = []
+        p = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=100.0)
+        p.start()
+        sim.run(until=80.0)
+        p.set_period(50.0)
+        sim.run(until=140.0)
+        assert ticks == [80.0, 130.0]
+
+    def test_set_period_grow_preserves_elapsed_phase(self, sim):
+        """Growing mid-cycle credits the elapsed phase: 4 s into a 10 s
+        cycle, switching to 25 s leaves 21 s to go — next tick at 25."""
+        ticks = []
+        p = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=10.0)
+        p.start()
+        sim.run(until=4.0)
+        p.set_period(25.0)
+        sim.run(until=51.0)
+        assert ticks == [25.0, 50.0]
+
+    def test_set_period_without_reschedule_keeps_next_tick(self, sim):
+        ticks = []
+        p = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=10.0)
+        p.start()
+        sim.run(until=4.0)
+        p.set_period(3.0, reschedule=False)
+        sim.run(until=14.0)
+        assert ticks == [10.0, 13.0]
+
+    def test_set_period_at_tick_instant_is_a_full_new_period(self, sim):
+        """The MLD startup->steady transition calls set_period from the
+        tick callback, where the elapsed phase is zero: the next tick is
+        exactly one new period away (unchanged behaviour)."""
+        ticks = []
+        p = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=5.0)
+
+        def cb():
+            ticks.append(sim.now)
+            if len(ticks) == 1:
+                p.set_period(20.0)
+
+        p.callback = cb
+        p.start()
+        sim.run(until=46.0)
+        assert ticks == [5.0, 25.0, 45.0]
+
     def test_invalid_period_rejected(self, sim):
         with pytest.raises(ValueError):
             PeriodicTimer(sim, lambda: None, period=0.0)
