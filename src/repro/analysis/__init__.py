@@ -1,12 +1,24 @@
 """Analytic models and report rendering."""
 
 from .delays import (
+    disruption_from_spans,
     expected_join_delay_unsolicited,
     expected_join_delay_wait_for_query,
     expected_leave_delay,
+    handovers_of,
+    join_delay_from_spans,
     leave_delay_bounds,
+    leave_delay_from_spans,
+    phase_breakdown,
+    verify_span_equivalence,
 )
 from .figures import render_figure, render_tree, tree_edges
+from .phases import (
+    render_phase_table,
+    run_span_breakdown,
+    span_breakdown_cells,
+    span_receiver_run,
+)
 from .tables import Column, fmt_bytes, fmt_float, fmt_seconds, render_table
 from .timeline import (
     export_trace_json,
@@ -19,6 +31,7 @@ from .timeseries import BandwidthRecorder, render_series, sparkline
 __all__ = [
     "BandwidthRecorder",
     "Column",
+    "disruption_from_spans",
     "expected_join_delay_unsolicited",
     "export_trace_json",
     "expected_join_delay_wait_for_query",
@@ -27,13 +40,22 @@ __all__ = [
     "fmt_float",
     "fmt_seconds",
     "handoff_timeline",
+    "handovers_of",
+    "join_delay_from_spans",
     "load_trace_json",
     "leave_delay_bounds",
+    "leave_delay_from_spans",
+    "phase_breakdown",
     "render_figure",
+    "render_phase_table",
     "render_series",
-    "render_timeline",
-    "sparkline",
     "render_table",
+    "render_timeline",
     "render_tree",
+    "run_span_breakdown",
+    "span_breakdown_cells",
+    "span_receiver_run",
+    "sparkline",
     "tree_edges",
+    "verify_span_equivalence",
 ]

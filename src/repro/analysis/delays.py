@@ -1,26 +1,45 @@
-"""Closed-form delay models for MLD-driven join/leave latencies.
+"""Delay models and span-derived §4.3 measurements.
 
-The paper argues (§4.3.1, §4.4) that with default MLD timers the join
-and leave delays of mobile receivers are far too high and derives the
-improvement from decreasing T_Query.  These are the corresponding
-expectations; the simulation experiments check against them.
+Two complementary sources for the paper's join/leave/disruption
+numbers live here:
 
-Model assumptions (matching the simulator): a single member on the
-link, a querier sending General Queries every T_Query, hosts answering
-after a uniform delay in [0, T_RespDel], memberships expiring after
-T_MLI = Robustness · T_Query + T_RespDel.
+* closed-form expectations (§4.3.1, §4.4) — with default MLD timers
+  the join and leave delays of mobile receivers are far too high; the
+  improvement comes from decreasing T_Query.  Model assumptions
+  (matching the simulator): a single member on the link, a querier
+  sending General Queries every T_Query, hosts answering after a
+  uniform delay in [0, T_RespDel], memberships expiring after
+  T_MLI = Robustness · T_Query + T_RespDel.
+* span-derived measurements — the same numbers read off the
+  transaction trees of :mod:`repro.obs.spans`, phase-attributed:
+  :func:`join_delay_from_spans` is the ``handover`` root's detach to
+  first delivery, :func:`phase_breakdown` splits it into the pipeline
+  phases, :func:`leave_delay_from_spans` is the ``leave-window`` span.
+  :func:`verify_span_equivalence` cross-checks every one of them
+  against the event-level computation
+  (:func:`repro.obs.export.summarize_mobility`) on the same trace, so
+  the two measurement paths can never silently diverge.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, Iterable, List, Optional
+
 from ..mipv6 import MobileIpv6Config
 from ..mld import MldConfig
+from ..obs.spans import HANDOVER_PHASES, Span, iter_spans
 
 __all__ = [
     "expected_join_delay_wait_for_query",
     "expected_join_delay_unsolicited",
     "expected_leave_delay",
     "leave_delay_bounds",
+    "disruption_from_spans",
+    "handovers_of",
+    "join_delay_from_spans",
+    "leave_delay_from_spans",
+    "phase_breakdown",
+    "verify_span_equivalence",
 ]
 
 
@@ -79,3 +98,157 @@ def leave_delay_bounds(mld: MldConfig) -> tuple:
         t_mli - mld.query_interval - mld.query_response_interval,
         t_mli,
     )
+
+
+# ----------------------------------------------------------------------
+# span-derived measurements (repro.obs.spans transaction trees)
+# ----------------------------------------------------------------------
+def handovers_of(
+    roots: Iterable[Span], node: str, since: Optional[float] = None
+) -> List[Span]:
+    """The node's ``handover`` root spans, oldest first."""
+    return [
+        span
+        for span in roots
+        if span.kind == "handover"
+        and span.node == node
+        and (since is None or span.start >= since)
+    ]
+
+
+def phase_breakdown(handover: Span) -> Dict[str, Optional[float]]:
+    """Pipeline-phase durations of one handover, in pipeline order.
+
+    Phases the handover never reached (e.g. it was superseded mid
+    detection) report ``None``; reached phases report their exact
+    duration, and — whenever the first delivery arrived in the
+    ``rejoin`` phase, the §4.3 shape — the reached durations sum to
+    the end-to-end join delay.
+    """
+    durations: Dict[str, Optional[float]] = {name: None for name in HANDOVER_PHASES}
+    for child in handover.children:
+        if child.kind == "phase" and child.end is not None:
+            durations[child.name] = child.end - child.start
+    return durations
+
+
+def join_delay_from_spans(
+    roots: Iterable[Span], node: str, since: Optional[float] = None
+) -> Optional[float]:
+    """Detach → first delivery at the new location, from the span tree.
+
+    Matches ``first("mcast.deliver", node=..., since=move)`` relative
+    to the move time because the handover root opens at the
+    ``detached`` event and records ``first_delivery`` verbatim.
+    """
+    for handover in handovers_of(roots, node, since=since):
+        delivered = handover.attrs.get("first_delivery")
+        if delivered is not None:
+            return delivered - handover.start
+    return None
+
+
+def leave_delay_from_spans(
+    roots: Iterable[Span],
+    node: str,
+    link: str,
+    group: Optional[str] = None,
+    since: Optional[float] = None,
+) -> Optional[float]:
+    """Departure → ``members-gone`` on the old link, span-shaped.
+
+    ``None`` when the membership had not yet expired by the end of the
+    run (the window closed unexpired at ``finish()``).
+    """
+    for span in iter_spans(roots):
+        if span.kind != "leave-window" or span.node != node:
+            continue
+        if span.attrs.get("link") != link:
+            continue
+        if group is not None and span.attrs.get("group") != group:
+            continue
+        if since is not None and span.start < since:
+            continue
+        if span.attrs.get("left"):
+            return span.end - span.start
+        return None
+    return None
+
+
+def disruption_from_spans(
+    roots: Iterable[Span], node: str, since: Optional[float] = None
+) -> Optional[float]:
+    """Last delivery before detach → first delivery after re-attach.
+
+    The receiver-side service disruption of one handover; ``None``
+    when the node was not receiving before the move or never rejoined.
+    """
+    for handover in handovers_of(roots, node, since=since):
+        before = handover.attrs.get("last_delivery_before")
+        after = handover.attrs.get("first_delivery")
+        if before is not None and after is not None:
+            return after - before
+    return None
+
+
+def verify_span_equivalence(
+    trace: Any,
+    roots: Iterable[Span],
+    move_time: float,
+    receiver: str,
+    old_link: str,
+    group: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Cross-check span-derived §4.3 numbers against the event-level
+    computation on the same trace.
+
+    Returns the two join/leave readings, the phase sum, and
+    ``equivalent`` — True iff the span tree reproduces
+    :func:`repro.obs.export.summarize_mobility`'s join and leave
+    delays exactly and, when delivery arrived in the ``rejoin`` phase,
+    the phase durations sum to the join delay (float-exact up to 1e-9
+    accumulation error).
+    """
+    roots = list(roots)
+    join_ev = trace.first("mcast.deliver", node=receiver, since=move_time)
+    leave_kw: Dict[str, Any] = {"event": "members-gone", "link": old_link}
+    if group is not None:
+        leave_kw["group"] = group
+    leave_ev = trace.first("mld", since=move_time, **leave_kw)
+    event_join = join_ev.time - move_time if join_ev else None
+    event_leave = leave_ev.time - move_time if leave_ev else None
+
+    span_join = join_delay_from_spans(roots, receiver, since=move_time)
+    span_leave = leave_delay_from_spans(
+        roots, receiver, old_link, group=group, since=move_time
+    )
+    handovers = handovers_of(roots, receiver, since=move_time)
+    phases: Dict[str, Optional[float]] = {}
+    phase_sum: Optional[float] = None
+    delivered_in: Optional[str] = None
+    if handovers:
+        phases = phase_breakdown(handovers[0])
+        reached = [d for d in phases.values() if d is not None]
+        phase_sum = sum(reached) if reached else None
+        delivered_in = handovers[0].attrs.get("delivered_in")
+
+    def close(a: Optional[float], b: Optional[float]) -> bool:
+        if a is None or b is None:
+            return a is None and b is None
+        return abs(a - b) <= 1e-9
+
+    equivalent = close(span_join, event_join) and close(span_leave, event_leave)
+    if delivered_in == HANDOVER_PHASES[-1] and equivalent:
+        equivalent = close(phase_sum, event_join)
+    return {
+        "receiver": receiver,
+        "move_time": move_time,
+        "event_join_delay": event_join,
+        "span_join_delay": span_join,
+        "event_leave_delay": event_leave,
+        "span_leave_delay": span_leave,
+        "phases": phases,
+        "phase_sum": phase_sum,
+        "delivered_in": delivered_in,
+        "equivalent": equivalent,
+    }

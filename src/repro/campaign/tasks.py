@@ -17,6 +17,7 @@ Registered tasks:
 ``scaling.rate``         HA load for one source rate
 ``faults.receiver``      one resilience row under wireless loss
 ``faults.ha_crash``      one resilience row under a home-agent crash
+``spans.receiver``       one phase-attributed handover breakdown row
 ``selftest.echo``        cheap deterministic no-sim task (tests)
 ``selftest.sleep``       sleeps; exercises the hung-cell watchdog
 ``selftest.flaky``       fails N times then succeeds (retry tests)
@@ -258,6 +259,39 @@ def faults_ha_crash(
         move_at=move_at,
         crash_at=crash_at,
         crash_duration=crash_duration,
+        run_until=run_until,
+        packet_interval=packet_interval,
+    )
+
+
+# ----------------------------------------------------------------------
+# repro.obs.spans phase-attribution cells
+# ----------------------------------------------------------------------
+
+@register_task("spans.receiver")
+def spans_receiver(
+    approach: str,
+    seed: int = 0,
+    loss_rate: float = 0.0,
+    model: str = "gilbert",
+    move_link: str = "L6",
+    move_at: float = 40.0,
+    fault_at: float = 32.0,
+    handoff_blackout: float = 2.0,
+    run_until: float = 90.0,
+    packet_interval: float = 0.05,
+) -> Dict[str, Any]:
+    from ..analysis.phases import span_receiver_run
+
+    return span_receiver_run(
+        _approach(approach),
+        seed=seed,
+        loss_rate=loss_rate,
+        model=model,
+        move_link=move_link,
+        move_at=move_at,
+        fault_at=fault_at,
+        handoff_blackout=handoff_blackout,
         run_until=run_until,
         packet_interval=packet_interval,
     )

@@ -30,6 +30,15 @@ Observability (see docs/OBSERVABILITY.md)::
     python -m repro trace --metrics            # Prometheus-text metrics
     python -m repro profile fig2 --top 10      # kernel hotspot report
 
+Causal spans (see docs/OBSERVABILITY.md)::
+
+    python -m repro spans                      # phase-attribution table
+    python -m repro spans --loss 0.0 0.05      # ... under wireless loss
+    python -m repro spans --export spans.json  # Chrome/Perfetto trace
+    python -m repro spans --handover list      # enumerate handovers
+    python -m repro spans --handover handover:R3:1   # one span tree
+    python -m repro trace --txn handover:R3:1 --export slice.jsonl
+
 Performance baselines (see docs/PERFORMANCE.md)::
 
     python -m repro bench                      # -> BENCH_KERNEL.json
@@ -490,6 +499,84 @@ def _render_summary(summary: Dict[str, Any], source: str) -> str:
     return "\n".join(lines)
 
 
+def _slicing_requested(args: argparse.Namespace) -> bool:
+    return (
+        args.txn is not None or args.since is not None or args.until is not None
+    )
+
+
+def _trace_slice(events, args: argparse.Namespace, source: str) -> None:
+    """``--since/--until/--txn``: slice a trace to a time window (or to
+    one transaction's window) and print or re-export it."""
+    from types import SimpleNamespace
+
+    from .obs.spans import build_spans, find_span
+
+    since, until = args.since, args.until
+    txn = None
+    if args.txn is not None:
+        roots = build_spans(SimpleNamespace(events=events))
+        txn = find_span(roots, args.txn)
+        if txn is None:
+            known = [s.span_id for s in roots if s.kind == "handover"]
+            raise SystemExit(
+                f"error: span {args.txn!r} not found; handovers in this "
+                f"trace: {', '.join(known) or '(none)'}"
+            )
+        since = txn.start if since is None else max(since, txn.start)
+        until = txn.end if until is None else min(until, txn.end)
+    sliced = [
+        ev
+        for ev in events
+        if (since is None or ev.time >= since)
+        and (until is None or ev.time <= until)
+    ]
+    window = {
+        "since": since,
+        "until": until,
+        "txn": args.txn,
+        "events": len(sliced),
+        "events_total": len(events),
+    }
+    exported = None
+    if args.export:
+        meta: Dict[str, Any] = {"source": source, "slice": dict(window)}
+        if txn is not None:
+            meta["txn"] = {
+                "span_id": txn.span_id,
+                "kind": txn.kind,
+                "name": txn.name,
+                "node": txn.node,
+            }
+        count = export_run(
+            args.export, SimpleNamespace(events=sliced), snapshots=(), meta=meta
+        )
+        exported = {"path": args.export, "events": count}
+    if args.json:
+        categories: Dict[str, int] = {}
+        for ev in sliced:
+            categories[ev.category] = categories.get(ev.category, 0) + 1
+        payload = {"source": source, **window, "categories": categories}
+        if exported:
+            payload["exported"] = exported
+        _print_json(payload)
+        return
+    label = f"txn {args.txn}" if args.txn else "time window"
+    lo = "start" if since is None else f"{since:.6f}"
+    hi = "end" if until is None else f"{until:.6f}"
+    print(
+        f"trace slice — {label} [{lo}, {hi}] "
+        f"({len(sliced)}/{len(events)} events, {source})"
+    )
+    limit = 200
+    for ev in sliced[:limit]:
+        print(repr(ev))
+    if len(sliced) > limit:
+        print(f"... {len(sliced) - limit} more (use --export to keep them all)")
+    if exported:
+        print(f"exported {exported['events']} events to {exported['path']}")
+
+
 def _trace(args: argparse.Namespace) -> None:
     if args.capacity is not None and args.capacity <= 0:
         raise SystemExit(f"error: --capacity must be positive, got {args.capacity}")
@@ -500,6 +587,9 @@ def _trace(args: argparse.Namespace) -> None:
             raise SystemExit(f"error: cannot read trace file: {exc}")
         except ValueError as exc:
             raise SystemExit(f"error: invalid trace file: {exc}")
+        if _slicing_requested(args):
+            _trace_slice(archive.events, args, f"offline: {args.import_path}")
+            return
         meta = archive.meta
         summary = summarize_mobility(
             archive,
@@ -527,6 +617,10 @@ def _trace(args: argparse.Namespace) -> None:
     sc.run_until(_TRACE_MOVE_AT + t_mli + 30.0)
     sc.finish()
     snapshots = [before, sc.metrics.snapshot()]
+
+    if _slicing_requested(args):
+        _trace_slice(list(sc.net.tracer.events), args, f"live run, seed {args.seed}")
+        return
 
     summary = summarize_mobility(
         sc.net.tracer,
@@ -563,6 +657,132 @@ def _trace(args: argparse.Namespace) -> None:
     if args.metrics:
         sc.metrics.publish(registry)
         print(registry.render_prometheus(), end="")
+
+
+def _render_span_tree(span, indent: int = 0) -> str:
+    pad = "  " * indent
+    dur = "open" if span.end is None else fmt_seconds(span.end - span.start)
+    attrs = " ".join(
+        f"{k}={v}" for k, v in sorted(span.attrs.items()) if v is not None
+    )
+    lines = [
+        f"{pad}{span.span_id:<24} {span.name:<24} "
+        f"t={span.start:<11.6f} dur={dur:<8} {attrs}".rstrip()
+    ]
+    for child in span.children:
+        lines.append(_render_span_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def _spans(args: argparse.Namespace) -> None:
+    """Phase-attributed handover analysis (see docs/OBSERVABILITY.md)."""
+    from .analysis.phases import render_phase_table, run_span_breakdown
+    from .obs.spans import SpanRecorder, find_span, write_chrome_trace
+
+    by_key = {a.key: a for a in ALL_APPROACHES}
+    unknown = [k for k in args.approaches if k not in by_key]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown approach(es) {', '.join(unknown)}; "
+            f"known: {', '.join(by_key)}"
+        )
+    approaches = tuple(by_key[k] for k in args.approaches)
+    for rate in args.loss:
+        if not 0.0 <= rate < 1.0:
+            raise SystemExit(f"error: --loss rates must be in [0, 1), got {rate}")
+
+    if args.export or args.handover:
+        # drill-down mode: one live span-recorded receiver move
+        approach = approaches[0]
+        registry = MetricsRegistry()
+        sc = PaperScenario(
+            ScenarioConfig(
+                seed=args.seed, approach=approach, trace_spans=False
+            )
+        )
+        recorder = SpanRecorder(registry=registry, approach=approach.key).attach(
+            sc.net.tracer
+        )
+        sc.converge()
+        sc.move(_TRACE_RECEIVER, _TRACE_NEW_LINK, at=_TRACE_MOVE_AT)
+        sc.run_until(_TRACE_MOVE_AT + 60.0)
+        sc.finish()
+        roots = recorder.finish()
+        handovers = [s for s in roots if s.kind == "handover"]
+        payload: Dict[str, Any] = {
+            "experiment": "spans",
+            "approach": approach.key,
+            "seed": args.seed,
+            "spans": len(roots),
+            "handovers": [s.span_id for s in handovers],
+        }
+        out_lines = []
+        if args.handover:
+            if args.handover == "list":
+                out_lines += [
+                    _render_span_tree(s).splitlines()[0] for s in handovers
+                ]
+                payload["trees"] = [s.to_dict() for s in handovers]
+            else:
+                span = find_span(roots, args.handover)
+                if span is None:
+                    raise SystemExit(
+                        f"error: span {args.handover!r} not found; handovers: "
+                        f"{', '.join(s.span_id for s in handovers) or '(none)'}"
+                    )
+                out_lines.append(_render_span_tree(span))
+                payload["trees"] = [span.to_dict()]
+        if args.export:
+            count = write_chrome_trace(
+                args.export,
+                roots,
+                meta={"approach": approach.key, "seed": args.seed},
+            )
+            payload["exported"] = {"path": args.export, "trace_events": count}
+            out_lines.append(
+                f"wrote {count} trace events to {args.export} "
+                "(load in chrome://tracing or ui.perfetto.dev)"
+            )
+        if args.json:
+            _print_json(payload)
+        else:
+            print("\n".join(out_lines))
+        if args.metrics:
+            print(registry.render_prometheus(), end="")
+        return
+
+    registry = MetricsRegistry()
+    runner = _campaign_runner(args, registry)
+    rows = run_span_breakdown(
+        approaches=approaches,
+        loss_rates=tuple(args.loss),
+        seed=args.seed,
+        runner=runner,
+    )
+    stats = runner.stats()
+    if args.json:
+        _print_json(
+            {
+                "experiment": "spans",
+                "seed": args.seed,
+                "rows": rows,
+                "campaign": stats,
+            }
+        )
+        return
+    print(render_phase_table(rows))
+    broken = [r for r in rows if not r["equivalent"]]
+    if broken:
+        print(
+            "WARNING: span-derived numbers diverge from the event-level "
+            f"computation for: {', '.join(r['approach'] for r in broken)}"
+        )
+    print(
+        f"\ncampaign: {stats['cells']} cells, {stats['executed']} executed, "
+        f"{stats['cached']} cached, {stats['failed']} failed, "
+        f"{stats['retries']} retries, jobs={stats['jobs']}, "
+        f"wall {stats['wall_clock']:.1f}s"
+    )
 
 
 def _bench(args: argparse.Namespace) -> None:
@@ -630,6 +850,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "faults": _faults,
     "report": _report,
     "trace": _trace,
+    "spans": _spans,
     "profile": _profile,
     "bench": _bench,
 }
@@ -760,11 +981,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-analyze a saved JSONL trace offline (no simulation)")
     trace.add_argument("--capacity", type=int, default=None,
                        help="bounded ring-buffer trace mode: keep newest N events")
+    trace.add_argument("--since", type=float, default=None, metavar="T",
+                       help="slice: keep only events at or after simulation "
+                       "time T")
+    trace.add_argument("--until", type=float, default=None, metavar="T",
+                       help="slice: keep only events at or before simulation "
+                       "time T")
+    trace.add_argument("--txn", metavar="SPAN_ID", default=None,
+                       help="slice to one transaction's window (a span id "
+                       "from 'repro spans --handover list', e.g. "
+                       "handover:R3:1); combines with --since/--until and "
+                       "--export")
     trace.add_argument("--metrics", action="store_true",
                        help="also print the metrics registry (Prometheus text)")
     trace.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
     _add_invariants_flag(trace)
+    spans_p = sub.add_parser(
+        "spans",
+        help="causal handover spans: phase-attribution tables through the "
+        "campaign engine, Chrome/Perfetto export, per-handover drill-down "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    spans_p.add_argument("--approaches", nargs="+",
+                         default=[a.key for a in ALL_APPROACHES],
+                         metavar="KEY",
+                         help="delivery approaches to break down "
+                         f"(default: {' '.join(a.key for a in ALL_APPROACHES)})")
+    spans_p.add_argument("--loss", type=float, nargs="+", default=[0.0],
+                         help="loss rates for the breakdown grid "
+                         "(default: 0.0 — the plain §4.3 pipeline)")
+    spans_p.add_argument("--seed", type=int, default=0,
+                         help="scenario / campaign master seed")
+    spans_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes to shard cells across")
+    spans_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache completed cells here")
+    spans_p.add_argument("--export", metavar="PATH", default=None,
+                         help="run the receiver-move scenario live and write "
+                         "its span forest as Chrome trace-event JSON "
+                         "(chrome://tracing / ui.perfetto.dev)")
+    spans_p.add_argument("--handover", metavar="SPAN_ID", default=None,
+                         help="drill into one handover: print its span tree "
+                         "('list' enumerates handover span ids)")
+    spans_p.add_argument("--metrics", action="store_true",
+                         help="also print repro_span_duration_seconds "
+                         "histograms (Prometheus text)")
+    spans_p.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of text")
+    _add_supervisor_flags(spans_p)
+    _add_invariants_flag(spans_p)
     bench = sub.add_parser(
         "bench",
         help="kernel/campaign macro-benchmarks -> BENCH_KERNEL.json "

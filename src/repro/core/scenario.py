@@ -55,6 +55,13 @@ class ScenarioConfig:
     #: (the ``--check-invariants`` CLI flag), which worker processes
     #: inherit — so campaign cells are audited too.
     check_invariants: Optional[bool] = None
+    #: attach a :class:`repro.obs.spans.SpanRecorder` reconstructing
+    #: handover/graft/assert transactions live from the trace stream.
+    #: None defers to ``REPRO_TRACE_SPANS`` (same worker-inheritance
+    #: contract as ``check_invariants``); the recorder subscribes to
+    #: control-plane categories only and, when disabled, no listener
+    #: exists at all — the record hot path is untouched.
+    trace_spans: Optional[bool] = None
 
 
 class PaperScenario:
@@ -94,6 +101,13 @@ class PaperScenario:
             cfg.check_invariants is None and checking_enabled()
         ):
             self.invariants = InvariantMonitor(self.net, escalate=True).attach()
+        self.spans = None
+        from ..obs.spans import SpanRecorder, spans_enabled
+
+        if cfg.trace_spans or (cfg.trace_spans is None and spans_enabled()):
+            self.spans = SpanRecorder(approach=cfg.approach.key).attach(
+                self.net.tracer
+            )
 
     # ------------------------------------------------------------------
     # canned phases
@@ -117,11 +131,16 @@ class PaperScenario:
         self.net.run(until=time)
 
     def finish(self) -> None:
-        """Run the invariant liveness sweeps; raise on any breach.
+        """Close open spans and run the invariant liveness sweeps;
+        raises on any invariant breach.
 
-        No-op when no monitor is attached, so every experiment can call
-        it unconditionally at the end of its run.
+        No-op when neither a span recorder nor a monitor is attached,
+        so every experiment can call it unconditionally at the end of
+        its run.  Spans close at the last *event* time (not ``now``) so
+        the live tree equals an offline replay of the same trace.
         """
+        if self.spans is not None:
+            self.spans.finish()
         if self.invariants is not None:
             self.invariants.check()
 

@@ -20,6 +20,16 @@ point of attachment (paper §2):
 
 The two mode switches are exactly Table 1's axes; the four combinations
 are named in :mod:`repro.core.strategies`.
+
+The ``mobility`` events emitted along the handoff pipeline
+(``detached`` / ``attached`` / ``movement-detected`` /
+``coa-configured`` / ``returned-home``) delimit the ``phase`` spans of
+a ``handover`` transaction, and the ``mipv6`` events ``bu-sent`` /
+``bu-retransmit`` / ``ba-received`` open, annotate and close its
+``binding-update`` child — see :mod:`repro.obs.spans`.  Span
+reconstruction correlates purely on these existing events; renaming
+one or dropping a detail field breaks the span layer's handlers before
+it breaks any golden digest.
 """
 
 from __future__ import annotations

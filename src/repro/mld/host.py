@@ -15,6 +15,10 @@ Implements the listener side of MLD:
 The component binds to any :class:`~repro.net.node.Node`; mobile hosts
 and plain hosts use it directly, and home agents attach one to answer
 queries for the groups they joined on behalf of their mobile nodes.
+
+A ``report-sent`` event emitted while the node's handover transaction
+is open becomes an ``mld-report`` marker span inside it — the visible
+start of the §4.3 rejoin signaling (:mod:`repro.obs.spans`).
 """
 
 from __future__ import annotations

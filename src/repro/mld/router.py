@@ -17,6 +17,11 @@ router:
   subscribing on behalf of its mobile nodes) that never expire,
 * change notifications to the multicast routing protocol (PIM-DM), as
   required by RFC 2710 §5 and paper §3.2.
+
+The ``members-gone`` event a membership expiry emits closes the
+``leave-window`` span opened at the mobile node's departure — the
+§4.3 leave delay as a transaction (:mod:`repro.obs.spans` correlates
+it by the ``link``/``group`` detail fields).
 """
 
 from __future__ import annotations

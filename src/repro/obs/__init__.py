@@ -12,7 +12,11 @@ The measurement stack of the reproduction:
   dispatch count / wall-clock aggregation inside the simulation
   kernel,
 * :mod:`repro.obs.export` — JSONL trace export/import and
-  :class:`TraceArchive` for offline re-analysis of saved runs.
+  :class:`TraceArchive` for offline re-analysis of saved runs,
+* :mod:`repro.obs.spans` — causal span reconstruction: handover /
+  graft / assert / prune-override transactions rebuilt from the trace
+  stream (live via :class:`SpanRecorder` or offline via
+  :func:`build_spans`), with Chrome trace-event export.
 
 See ``docs/OBSERVABILITY.md`` for the guided tour.
 """
@@ -38,6 +42,20 @@ from .registry import (
     MetricsRegistry,
     TraceCollector,
 )
+from .spans import (
+    HANDOVER_PHASES,
+    SPAN_CATEGORIES,
+    Span,
+    SpanBuilder,
+    SpanRecorder,
+    build_spans,
+    chrome_trace,
+    find_span,
+    iter_spans,
+    spans_enabled,
+    spans_to_json,
+    write_chrome_trace,
+)
 from .store import TraceQueryMixin, TraceStore
 
 __all__ = [
@@ -45,21 +63,33 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "FORMAT_VERSION",
     "Gauge",
+    "HANDOVER_PHASES",
     "Histogram",
     "KernelProfiler",
     "LATENCY_BUCKETS",
     "MetricFamily",
     "MetricsRegistry",
     "ProfileEntry",
+    "SPAN_CATEGORIES",
+    "Span",
+    "SpanBuilder",
+    "SpanRecorder",
     "TraceArchive",
     "TraceCollector",
     "TraceQueryMixin",
     "TraceStore",
+    "build_spans",
+    "chrome_trace",
     "digest_events",
     "event_record",
     "export_run",
+    "find_span",
     "import_run",
+    "iter_spans",
     "profiled",
     "read_events",
+    "spans_enabled",
+    "spans_to_json",
     "summarize_mobility",
+    "write_chrome_trace",
 ]

@@ -109,16 +109,44 @@ class Histogram:
         out.append((float("inf"), self.count))
         return out
 
-    def quantile(self, q: float) -> Optional[float]:
-        """Bucket-boundary estimate of the q-quantile (None when empty)."""
+    def quantile(self, q: float, interpolated: bool = True) -> Optional[float]:
+        """Estimate of the q-quantile from bucket counts (None when
+        empty).
+
+        The default interpolates linearly within the containing bucket
+        (the ``histogram_quantile`` estimate: observations assumed
+        uniform across the bucket); ``interpolated=False`` restores the
+        original bucket-upper-boundary mode.  ``q=0`` locates the first
+        *non-empty* bucket — the observed minimum's bucket, not the
+        lowest configured boundary.  Ranks landing in the +Inf overflow
+        bucket clamp to the top finite boundary when interpolating
+        (there is no upper edge to interpolate toward) and report
+        ``inf`` in boundary mode.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q!r}")
         if self.count == 0:
             return None
+        bounds = self.boundaries
+
+        def lower_edge(i: int) -> float:
+            # Prometheus convention: the first bucket spans [0, bound].
+            return bounds[i - 1] if i > 0 else min(0.0, bounds[0])
+
         rank = q * self.count
-        for boundary, cum in self.cumulative():
-            if cum >= rank:
-                return boundary
+        cum = 0
+        for i, n in enumerate(self.bucket_counts):
+            cum += n
+            if n == 0 or cum < rank:
+                continue
+            if i >= len(bounds):  # overflow bucket
+                return bounds[-1] if interpolated else float("inf")
+            if not interpolated:
+                return bounds[i]
+            if rank <= cum - n:  # q == 0: the bucket's low edge
+                return lower_edge(i)
+            fraction = (rank - (cum - n)) / n
+            return lower_edge(i) + (bounds[i] - lower_edge(i)) * fraction
         return float("inf")  # pragma: no cover - defensive
 
     @property

@@ -1,0 +1,774 @@
+"""Causal span reconstruction: protocol transactions from the trace.
+
+The trace stream (:mod:`repro.sim.trace`) records *events*; this module
+folds them into *transactions* — parent/child span trees with explicit
+start/end times — so a handover can be read as a timeline instead of a
+grep.  Reconstructed transaction kinds:
+
+=================  ====================================================
+kind               transaction
+=================  ====================================================
+``handover``       one mobile-node move: ``detached``/``blackout`` to
+                   first multicast delivery at the new location, with
+                   the contiguous pipeline phases below as children
+``phase``          ``l2-handoff`` → ``movement-detection`` →
+                   ``coa-configuration`` → ``rejoin``; each starts
+                   exactly where the previous one ends, so their
+                   durations sum to the end-to-end join delay whenever
+                   delivery arrives in the ``rejoin`` phase (the §4.3
+                   receiver experiments)
+``binding-update`` BU sent → BAck received (retransmits counted);
+                   a child of the open handover, or a root span for
+                   periodic lifetime refreshes
+``mld-report``     an unsolicited/solicited Report sent mid-handover
+                   (instant marker span)
+``graft``          Graft sent → GraftAck received per
+                   (router, S, G); retries counted
+``assert``         assert election per (router, iface, S, G):
+                   first Assert sent → lost / winner observed / expired
+``prune-override`` prune-pending window per (router, iface, S, G):
+                   closes as ``overridden`` (downstream Join) or
+                   ``pruned`` (timer fired)
+``leave-window``   departure to ``members-gone`` on the old link per
+                   group — the §4.3 leave delay, span-shaped
+=================  ====================================================
+
+Spans are correlated purely by node, link, interface and (S,G) strings
+already present in event details — no new event fields, so golden
+trace digests are untouched.  The same :class:`SpanBuilder` consumes a
+live event stream (via :class:`SpanRecorder`, a ``Tracer`` listener)
+or an offline :class:`~repro.obs.export.TraceArchive`
+(:func:`build_spans`); because open spans are finalized at the *last
+event time* rather than the simulator clock, the live and replayed
+trees are byte-identical (:func:`spans_to_json`).
+
+Span durations feed ``repro_span_duration_seconds{kind,phase,approach}``
+histograms when a :class:`~repro.obs.registry.MetricsRegistry` is
+supplied, and :func:`chrome_trace` renders the trees as Chrome
+trace-event JSON loadable in ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "ENV_FLAG",
+    "HANDOVER_PHASES",
+    "SPAN_CATEGORIES",
+    "Span",
+    "SpanBuilder",
+    "SpanRecorder",
+    "build_spans",
+    "chrome_trace",
+    "find_span",
+    "iter_spans",
+    "spans_enabled",
+    "spans_to_json",
+    "write_chrome_trace",
+]
+
+#: Environment flag mirroring ``REPRO_CHECK_INVARIANTS``: when set,
+#: every :class:`~repro.core.scenario.PaperScenario` self-attaches a
+#: :class:`SpanRecorder` — campaign worker processes inherit it, so
+#: cells grown under ``repro spans`` are span-instrumented too.
+ENV_FLAG = "REPRO_TRACE_SPANS"
+
+#: Trace categories the builder consumes.  High-volume categories
+#: (``mcast.forward``, ``link``) are deliberately excluded: span
+#: reconstruction needs control-plane events plus per-receiver
+#: deliveries only.
+SPAN_CATEGORIES = frozenset(
+    ("mobility", "mipv6", "mld", "pim", "pim.state", "mcast.deliver")
+)
+
+#: The contiguous handover pipeline, in order.  Each phase starts at
+#: the event that ends the previous one.
+HANDOVER_PHASES = (
+    "l2-handoff",
+    "movement-detection",
+    "coa-configuration",
+    "rejoin",
+)
+
+
+def spans_enabled() -> bool:
+    """True when runs should self-attach a :class:`SpanRecorder`."""
+    return os.environ.get(ENV_FLAG, "").strip().lower() not in ("", "0", "false")
+
+
+@dataclass
+class Span:
+    """One reconstructed transaction (or phase of one).
+
+    ``span_id`` is deterministic — ``{kind}:{node}:{ordinal}`` in event
+    order — so ids agree between a live run and an offline replay of
+    its export.
+    """
+
+    span_id: str
+    kind: str
+    name: str
+    node: str
+    start: float
+    end: Optional[float] = None
+    parent_id: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready nested representation (children recursed)."""
+        return {
+            "span_id": self.span_id,
+            "kind": self.kind,
+            "name": self.name,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "parent_id": self.parent_id,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dur = "open" if self.end is None else f"{self.end - self.start:.6f}s"
+        return f"<Span {self.span_id} {self.name} @{self.start:.3f} {dur}>"
+
+
+class _Handover:
+    """Builder-internal state for one open handover transaction."""
+
+    __slots__ = ("span", "phase", "first_delivery", "updates")
+
+    def __init__(self, span: Span) -> None:
+        self.span = span
+        self.phase: Optional[Span] = None  # the currently open phase
+        self.first_delivery: Optional[float] = None
+        self.updates: List[Span] = []  # open binding-update children
+
+
+class SpanBuilder:
+    """Folds a time-ordered event stream into span trees.
+
+    Feed events with :meth:`feed` (only :data:`SPAN_CATEGORIES` are
+    inspected; others are ignored), then call :meth:`finish` to close
+    anything still open at the last seen event time.  ``on_close``
+    fires once per span as it closes (metrics hook).
+    """
+
+    def __init__(self, on_close: Optional[Callable[[Span], None]] = None) -> None:
+        self.on_close = on_close
+        self.roots: List[Span] = []
+        self._ids: Dict[Tuple[str, str], int] = {}
+        self._handovers: Dict[str, _Handover] = {}
+        self._grafts: Dict[Tuple[str, str, str], Span] = {}
+        self._asserts: Dict[Tuple[str, str, str, str], Span] = {}
+        self._overrides: Dict[Tuple[str, str, str, str], Span] = {}
+        self._updates: Dict[str, Span] = {}
+        self._leaves: Dict[Tuple[str, str], List[Span]] = {}
+        self._groups: Dict[str, set] = {}
+        self._last_delivery: Dict[str, float] = {}
+        self._last_time = 0.0
+        self._open_count = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # span lifecycle plumbing
+    # ------------------------------------------------------------------
+    def _open(
+        self,
+        kind: str,
+        name: str,
+        node: str,
+        start: float,
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        ordinal = self._ids[(kind, node)] = self._ids.get((kind, node), 0) + 1
+        span = Span(
+            span_id=f"{kind}:{node}:{ordinal}",
+            kind=kind,
+            name=name,
+            node=node,
+            start=start,
+            attrs=attrs,
+        )
+        if parent is not None:
+            span.parent_id = parent.span_id
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._open_count += 1
+        return span
+
+    def _close(self, span: Span, end: float, **attrs: Any) -> None:
+        if span.end is not None:
+            return
+        span.attrs.update(attrs)
+        span.end = max(end, span.start)
+        self._open_count -= 1
+        if self.on_close is not None:
+            self.on_close(span)
+
+    @property
+    def open_count(self) -> int:
+        """Spans opened but not yet closed (0 after :meth:`finish`)."""
+        return self._open_count
+
+    # ------------------------------------------------------------------
+    # event intake
+    # ------------------------------------------------------------------
+    def feed(self, ev: Any) -> None:
+        """Consume one :class:`~repro.sim.trace.TraceEvent`."""
+        category = ev.category
+        if category not in SPAN_CATEGORIES:
+            return
+        self._last_time = ev.time
+        detail = ev.detail
+        if category == "mcast.deliver":
+            self._on_delivery(ev.node, ev.time)
+            return
+        event = detail.get("event")
+        if event is None:
+            return
+        handler = self._HANDLERS.get(event)
+        if handler is not None:
+            handler(self, ev.node, ev.time, detail)
+
+    def finish(self, at: Optional[float] = None) -> List[Span]:
+        """Close every open span and return the root spans.
+
+        ``at`` defaults to the time of the last event fed — *not* a
+        wall/simulator clock — so a live builder and an offline replay
+        of the same stream close identically (the byte-identity
+        contract of :func:`spans_to_json`).  Idempotent.
+        """
+        if self._finished:
+            return self.roots
+        self._finished = True
+        end = self._last_time if at is None else at
+        for node in sorted(self._handovers):
+            self._close_handover(self._handovers[node], end, closed_by="finish")
+        self._handovers.clear()
+        for table in (self._grafts, self._asserts, self._overrides, self._updates):
+            for span in table.values():
+                self._close(span, end, closed_by="finish")
+            table.clear()
+        for spans in self._leaves.values():
+            for span in spans:
+                self._close(span, end, closed_by="finish", left=False)
+        self._leaves.clear()
+        return self.roots
+
+    # ------------------------------------------------------------------
+    # handover pipeline
+    # ------------------------------------------------------------------
+    def _begin_handover(
+        self, node: str, time: float, from_link: Optional[str],
+        to_link: Optional[str], blackout: Optional[float] = None,
+    ) -> None:
+        stale = self._handovers.pop(node, None)
+        if stale is not None:
+            # A new move while the previous handover was still open
+            # supersedes it (matches ``_move_seq`` in the mobile node).
+            self._close_handover(stale, time, closed_by="superseded")
+        name = f"handover:{to_link}" if blackout is None else f"blackout:{to_link}"
+        attrs: Dict[str, Any] = {"from_link": from_link, "to_link": to_link}
+        if blackout is not None:
+            attrs["blackout"] = blackout
+        last = self._last_delivery.get(node)
+        if last is not None:
+            attrs["last_delivery_before"] = last
+        span = self._open("handover", name, node, time, **attrs)
+        handover = _Handover(span)
+        handover.phase = self._open(
+            "phase", HANDOVER_PHASES[0], node, time, parent=span
+        )
+        self._handovers[node] = handover
+        if from_link:
+            for group in sorted(self._groups.get(node, ())):
+                leave = self._open(
+                    "leave-window",
+                    f"leave:{group}",
+                    node,
+                    time,
+                    link=from_link,
+                    group=group,
+                    handover=span.span_id,
+                )
+                self._leaves.setdefault((from_link, group), []).append(leave)
+
+    def _advance_phase(
+        self, node: str, time: float, ending: str, next_phase: Optional[str],
+        **attrs: Any,
+    ) -> None:
+        handover = self._handovers.get(node)
+        if handover is None:
+            return
+        phase = handover.phase
+        if phase is None or phase.name != ending:
+            return  # out-of-pipeline event (e.g. duplicate) — ignore
+        self._close(phase, time, **attrs)
+        handover.phase = (
+            self._open("phase", next_phase, node, time, parent=handover.span)
+            if next_phase is not None
+            else None
+        )
+        if (
+            handover.phase is not None
+            and handover.phase.name == HANDOVER_PHASES[-1]
+            and handover.first_delivery is not None
+        ):
+            # Delivery already arrived mid-pipeline (an on-tree move or
+            # return-home): the rejoin phase is trivially done.
+            self._close(handover.phase, time)
+            handover.phase = None
+        if handover.phase is None:
+            self._maybe_complete(handover, time)
+
+    def _on_delivery(self, node: str, time: float) -> None:
+        self._last_delivery[node] = time
+        handover = self._handovers.get(node)
+        if handover is None or handover.first_delivery is not None:
+            return
+        handover.first_delivery = time
+        span = handover.span
+        span.attrs["first_delivery"] = time
+        phase = handover.phase
+        span.attrs["delivered_in"] = phase.name if phase is not None else "pre-attach"
+        if phase is not None and phase.name == HANDOVER_PHASES[-1]:
+            # Normal §4.3 shape: delivery ends the rejoin phase, so the
+            # four phase durations sum exactly to the join delay.
+            self._close(phase, time)
+            handover.phase = None
+        self._maybe_complete(handover, time)
+
+    def _maybe_complete(self, handover: _Handover, time: float) -> None:
+        """Close the handover root once the pipeline is done: first
+        delivery seen, no phase open, and no binding-update child still
+        awaiting its BAck (a child may not outlive its parent)."""
+        if handover.first_delivery is None or handover.phase is not None:
+            return
+        if any(span.end is None for span in handover.updates):
+            return
+        ends = [c.end for c in handover.span.children if c.end is not None]
+        self._close(handover.span, max([time] + ends), joined=True)
+        self._handovers.pop(handover.span.node, None)
+
+    def _close_handover(self, handover: _Handover, time: float, **attrs: Any) -> None:
+        for child in handover.span.children:
+            if child.end is None:
+                self._close(child, time, closed_by=attrs.get("closed_by"))
+        handover.phase = None
+        if handover.first_delivery is None:
+            attrs.setdefault("joined", False)
+        self._close(handover.span, time, **attrs)
+
+    # ------------------------------------------------------------------
+    # per-event handlers (dispatched from feed)
+    # ------------------------------------------------------------------
+    def _ev_detached(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        self._begin_handover(node, time, d.get("from_link"), d.get("to_link"))
+
+    def _ev_blackout(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        self._begin_handover(
+            node, time, d.get("link"), d.get("link"), blackout=d.get("duration")
+        )
+
+    def _ev_attached(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        self._advance_phase(
+            node, time, HANDOVER_PHASES[0], HANDOVER_PHASES[1], link=d.get("link")
+        )
+
+    def _ev_movement_detected(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        self._advance_phase(node, time, HANDOVER_PHASES[1], HANDOVER_PHASES[2])
+
+    def _ev_coa_configured(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        self._advance_phase(
+            node, time, HANDOVER_PHASES[2], HANDOVER_PHASES[3], coa=d.get("coa")
+        )
+
+    def _ev_returned_home(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        # Return-home skips CoA configuration: the phase closes with
+        # zero duration, keeping the pipeline contiguous.
+        self._advance_phase(
+            node, time, HANDOVER_PHASES[2], HANDOVER_PHASES[3], returned_home=True
+        )
+
+    def _ev_app_join(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        group = d.get("group")
+        if group:
+            self._groups.setdefault(node, set()).add(group)
+
+    def _ev_app_leave(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        group = d.get("group")
+        if group:
+            self._groups.get(node, set()).discard(group)
+
+    def _ev_send_lost(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        handover = self._handovers.get(node)
+        if handover is not None:
+            attrs = handover.span.attrs
+            attrs["sends_lost"] = attrs.get("sends_lost", 0) + 1
+
+    def _ev_erroneous_source(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        handover = self._handovers.get(node)
+        if handover is not None:
+            attrs = handover.span.attrs
+            attrs["erroneous_sends"] = attrs.get("erroneous_sends", 0) + 1
+
+    # -- binding updates ------------------------------------------------
+    def _open_update(self, node: str) -> Optional[Span]:
+        span = self._updates.get(node)
+        return span if span is not None and span.end is None else None
+
+    def _ev_bu_sent(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        span = self._open_update(node)
+        if span is not None:
+            span.attrs["sends"] = span.attrs.get("sends", 1) + 1
+            return
+        handover = self._handovers.get(node)
+        parent = handover.span if handover is not None else None
+        span = self._open(
+            "binding-update",
+            "binding-update",
+            node,
+            time,
+            parent=parent,
+            seq=d.get("seq"),
+            coa=d.get("coa"),
+        )
+        self._updates[node] = span
+        if handover is not None:
+            handover.updates.append(span)
+
+    def _ev_bu_retransmit(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        span = self._open_update(node)
+        if span is not None:
+            span.attrs["retransmits"] = d.get("attempt", 0)
+
+    def _ev_ba_received(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        span = self._open_update(node)
+        if span is None:
+            return
+        self._close(span, time, status=d.get("status"), acked=True)
+        del self._updates[node]
+        handover = self._handovers.get(node)
+        if handover is not None and span in handover.updates:
+            self._maybe_complete(handover, time)
+
+    # -- MLD ------------------------------------------------------------
+    def _ev_report_sent(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        handover = self._handovers.get(node)
+        if handover is None:
+            return  # periodic query responses are not transactions
+        span = self._open(
+            "mld-report",
+            f"report:{d.get('group')}",
+            node,
+            time,
+            parent=handover.span,
+            group=d.get("group"),
+        )
+        self._close(span, time)
+
+    def _ev_members_gone(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        key = (d.get("link"), d.get("group"))
+        spans = self._leaves.get(key)
+        if not spans:
+            return
+        span = spans.pop(0)  # oldest departure expires first
+        if not spans:
+            self._leaves.pop(key, None)
+        self._close(span, time, router=node, iface=d.get("iface"), left=True)
+
+    # -- PIM graft ------------------------------------------------------
+    def _ev_graft_sent(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        key = (node, d.get("source"), d.get("group"))
+        span = self._grafts.get(key)
+        if span is not None:
+            span.attrs["sends"] = span.attrs.get("sends", 1) + 1
+            return
+        self._grafts[key] = self._open(
+            "graft",
+            f"graft:{d.get('group')}",
+            node,
+            time,
+            source=d.get("source"),
+            group=d.get("group"),
+            target=d.get("target"),
+        )
+
+    def _ev_graft_acked(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        span = self._grafts.pop((node, d.get("source"), d.get("group")), None)
+        if span is not None:
+            self._close(span, time, acked=True)
+
+    # -- PIM assert -----------------------------------------------------
+    def _ev_assert_sent(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        key = (node, d.get("iface"), d.get("source"), d.get("group"))
+        span = self._asserts.get(key)
+        if span is not None:
+            span.attrs["sends"] = span.attrs.get("sends", 1) + 1
+            return
+        self._asserts[key] = self._open(
+            "assert",
+            f"assert:{d.get('group')}",
+            node,
+            time,
+            iface=d.get("iface"),
+            source=d.get("source"),
+            group=d.get("group"),
+            metric=d.get("metric"),
+        )
+
+    def _end_assert(
+        self, node: str, time: float, d: Dict[str, Any], outcome: str
+    ) -> None:
+        key = (node, d.get("iface"), d.get("source"), d.get("group"))
+        span = self._asserts.pop(key, None)
+        if span is None:
+            if outcome != "lost":
+                return
+            # A router can lose an election it never spoke in (it heard
+            # a better Assert first): record a zero-length span.
+            span = self._open(
+                "assert",
+                f"assert:{d.get('group')}",
+                node,
+                time,
+                iface=d.get("iface"),
+                source=d.get("source"),
+                group=d.get("group"),
+            )
+        attrs = {"outcome": outcome}
+        if d.get("winner") is not None:
+            attrs["winner"] = d.get("winner")
+        self._close(span, time, **attrs)
+
+    def _ev_assert_lost(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        self._end_assert(node, time, d, "lost")
+
+    def _ev_assert_winner(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        self._end_assert(node, time, d, "observed-winner")
+
+    def _ev_assert_expired(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        self._end_assert(node, time, d, "expired")
+
+    # -- PIM prune/join-override ---------------------------------------
+    def _ev_prune_pending(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        key = (node, d.get("iface"), d.get("source"), d.get("group"))
+        if key in self._overrides:
+            return
+        self._overrides[key] = self._open(
+            "prune-override",
+            f"override-window:{d.get('group')}",
+            node,
+            time,
+            iface=d.get("iface"),
+            source=d.get("source"),
+            group=d.get("group"),
+        )
+
+    def _ev_join_override(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        key = (node, d.get("iface"), d.get("source"), d.get("group"))
+        span = self._overrides.pop(key, None)
+        if span is not None:
+            self._close(span, time, outcome="overridden")
+
+    def _ev_oif_pruned(self, node: str, time: float, d: Dict[str, Any]) -> None:
+        key = (node, d.get("iface"), d.get("source"), d.get("group"))
+        span = self._overrides.pop(key, None)
+        if span is not None:
+            self._close(span, time, outcome="pruned")
+
+    _HANDLERS: Dict[str, Callable[..., None]] = {
+        "detached": _ev_detached,
+        "blackout": _ev_blackout,
+        "attached": _ev_attached,
+        "movement-detected": _ev_movement_detected,
+        "coa-configured": _ev_coa_configured,
+        "returned-home": _ev_returned_home,
+        "app-join": _ev_app_join,
+        "app-leave": _ev_app_leave,
+        "send-lost-detached": _ev_send_lost,
+        "erroneous-source-send": _ev_erroneous_source,
+        "bu-sent": _ev_bu_sent,
+        "bu-retransmit": _ev_bu_retransmit,
+        "ba-received": _ev_ba_received,
+        "report-sent": _ev_report_sent,
+        "members-gone": _ev_members_gone,
+        "graft-sent": _ev_graft_sent,
+        "graft-acked": _ev_graft_acked,
+        "assert-sent": _ev_assert_sent,
+        "assert-lost": _ev_assert_lost,
+        "assert-winner-stored": _ev_assert_winner,
+        "assert-expired": _ev_assert_expired,
+        "prune-pending": _ev_prune_pending,
+        "join-override-received": _ev_join_override,
+        "oif-pruned": _ev_oif_pruned,
+    }
+
+
+class SpanRecorder:
+    """Live span reconstruction as a :class:`~repro.sim.trace.Tracer`
+    listener.
+
+    :meth:`attach` subscribes the builder to :data:`SPAN_CATEGORIES`
+    only, so the high-volume data-plane categories never reach it; when
+    spans are disabled no recorder exists and ``Tracer.record`` runs
+    its unmodified zero-listener path.  With a ``registry``, every
+    closed span observes its duration into
+    ``repro_span_duration_seconds{kind,phase,approach}``.
+    """
+
+    def __init__(self, registry: Any = None, approach: str = "") -> None:
+        self.approach = approach
+        self._histogram = None
+        if registry is not None:
+            self._histogram = registry.histogram(
+                "repro_span_duration_seconds",
+                "Duration of reconstructed protocol transactions",
+                label_names=("kind", "phase", "approach"),
+            )
+        self.builder = SpanBuilder(
+            on_close=self._observe if self._histogram is not None else None
+        )
+
+    def attach(self, tracer: Any) -> "SpanRecorder":
+        tracer.add_listener(self.builder.feed, categories=SPAN_CATEGORIES)
+        return self
+
+    def _observe(self, span: Span) -> None:
+        self._histogram.labels(
+            kind=span.kind,
+            phase=span.name if span.kind == "phase" else "",
+            approach=self.approach,
+        ).observe(span.end - span.start)
+
+    def finish(self, at: Optional[float] = None) -> List[Span]:
+        return self.builder.finish(at=at)
+
+    @property
+    def roots(self) -> List[Span]:
+        return self.builder.roots
+
+
+def build_spans(
+    trace: Any, on_close: Optional[Callable[[Span], None]] = None
+) -> List[Span]:
+    """Offline replay: span trees from any object with ``.events``
+    (a live ``Tracer`` or an imported
+    :class:`~repro.obs.export.TraceArchive`)."""
+    builder = SpanBuilder(on_close=on_close)
+    for ev in trace.events:
+        builder.feed(ev)
+    return builder.finish()
+
+
+# ----------------------------------------------------------------------
+# tree utilities / serialization
+# ----------------------------------------------------------------------
+def iter_spans(roots: Iterable[Span]) -> Iterator[Span]:
+    """Depth-first iteration over span trees."""
+    stack = list(roots)[::-1]
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(reversed(span.children))
+
+
+def find_span(roots: Iterable[Span], span_id: str) -> Optional[Span]:
+    for span in iter_spans(roots):
+        if span.span_id == span_id:
+            return span
+    return None
+
+
+def spans_to_json(roots: Iterable[Span], indent: Optional[int] = None) -> str:
+    """Canonical JSON for a span forest.
+
+    Sorted keys and default separators, so two structurally identical
+    forests serialize byte-identically — the live-vs-replay equality
+    check of the test suite compares these strings directly.
+    """
+    return json.dumps(
+        [span.to_dict() for span in roots], sort_keys=True, indent=indent
+    )
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+def chrome_trace(roots: Iterable[Span], meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Span forest as a Chrome trace-event document.
+
+    One complete (``ph: "X"``) event per closed span, timestamps in
+    microseconds, one "thread" per node — load the written file in
+    ``chrome://tracing`` or https://ui.perfetto.dev to inspect a
+    handover visually.  Open spans (none, after ``finish()``) are
+    skipped.
+    """
+    roots = list(roots)
+    nodes = sorted({span.node for span in iter_spans(roots)})
+    tids = {node: tid for tid, node in enumerate(nodes, start=1)}
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    for node in nodes:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[node],
+                "args": {"name": node},
+            }
+        )
+    for span in iter_spans(roots):
+        if span.end is None:
+            continue
+        args = {"span_id": span.span_id, "kind": span.kind}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (span.end - span.start) * 1e6,
+                "pid": 1,
+                "tid": tids[span.node],
+                "args": args,
+            }
+        )
+    doc: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if meta:
+        doc["metadata"] = dict(meta)
+    return doc
+
+
+def write_chrome_trace(
+    path: str, roots: Iterable[Span], meta: Optional[Dict[str, Any]] = None
+) -> int:
+    """Write :func:`chrome_trace` JSON to ``path``; returns the number
+    of trace events written (metadata records included)."""
+    doc = chrome_trace(roots, meta=meta)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

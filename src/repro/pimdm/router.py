@@ -22,6 +22,14 @@ paper §3.1 / draft-ietf-pim-v2-dm-03 on top of the node layer:
 
 :class:`MulticastRouter` composes the engine with the MLD router part
 into the node type used for Routers A–E.
+
+The ``pim`` events these mechanisms emit are transaction delimiters
+for :mod:`repro.obs.spans`: ``graft-sent``/``graft-acked`` bound a
+``graft`` span per (router, S, G), ``assert-sent`` /
+``assert-lost`` / ``assert-winner-stored`` / ``assert-expired`` bound
+an ``assert`` election span per (router, iface, S, G), and
+``prune-pending`` / ``join-override-received`` / ``oif-pruned`` bound
+the ``prune-override`` window.
 """
 
 from __future__ import annotations

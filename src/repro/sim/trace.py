@@ -122,8 +122,27 @@ class Tracer(TraceQueryMixin):
             active = self._active_cache[category] = self.is_enabled(category)
         return active
 
-    def add_listener(self, fn: Callable[[TraceEvent], None]) -> None:
-        """Register a live listener (used by online metric collectors)."""
+    def add_listener(
+        self,
+        fn: Callable[[TraceEvent], None],
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Register a live listener (used by online metric collectors).
+
+        With ``categories``, the listener only sees events whose
+        category is in the set — a span recorder subscribed to the
+        control-plane categories then costs one membership probe per
+        data-plane event instead of a full callback.
+        """
+        if categories is not None:
+            cats = frozenset(categories)
+
+            def filtered(ev: TraceEvent, _fn=fn, _cats=cats) -> None:
+                if ev.category in _cats:
+                    _fn(ev)
+
+            self._listeners.append(filtered)
+            return
         self._listeners.append(fn)
 
     def disable(self, category: str) -> None:

@@ -46,6 +46,8 @@ JSON_CONTRACTS = [
     (["faults", "--loss", "0.02", "--approaches", "local", "--json"],
      {"experiment", "scenario", "seed", "loss_rows", "campaign"}),
     (["trace", "--json"], {"join_delay", "leave_delay", "events_total"}),
+    (["spans", "--approaches", "local", "--json"],
+     {"experiment", "seed", "rows", "campaign"}),
     (["profile", "fig1", "--json"], {"total_events", "entries"}),
     (["bench", "--quick", "--scale", "0.01", "--output", "/dev/null",
       "--json"],

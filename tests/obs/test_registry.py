@@ -57,16 +57,48 @@ class TestHistogram:
         assert h.sum == pytest.approx(56.4)
         assert h.cumulative() == [(1.0, 2), (10.0, 3), (float("inf"), 4)]
 
-    def test_mean_and_quantile(self):
+    def test_mean_and_boundary_quantile(self):
         h = Histogram(boundaries=(1.0, 2.0, 4.0))
         for v in (0.5, 1.5, 1.6, 3.0):
             h.observe(v)
         assert h.mean == pytest.approx(1.65)
-        assert h.quantile(0.5) == 2.0
-        assert h.quantile(1.0) == 4.0
+        # boundary mode: the containing bucket's upper edge
+        assert h.quantile(0.5, interpolated=False) == 2.0
+        assert h.quantile(1.0, interpolated=False) == 4.0
+
+    def test_interpolated_quantile(self):
+        h = Histogram(boundaries=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        # rank 2 of 4 is halfway through the (1, 2] bucket (2 entries)
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        # rank 1 of 4 is the whole way through the [0, 1] bucket
+        assert h.quantile(0.25) == pytest.approx(1.0)
+        # rank 4 of 4 is the whole way through the (2, 4] bucket
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_q0_returns_observed_minimum_bucket(self):
+        h = Histogram(boundaries=(1.0, 10.0, 100.0))
+        h.observe(50.0)
+        # the minimum observation lives in (10, 100], not the first
+        # configured bucket
+        assert h.quantile(0.0) == 10.0
+        assert h.quantile(0.0, interpolated=False) == 100.0
+
+    def test_overflow_bucket_clamps_when_interpolating(self):
+        h = Histogram(boundaries=(1.0,))
+        h.observe(5.0)
+        assert h.quantile(0.5) == 1.0  # top finite boundary
+        assert h.quantile(0.5, interpolated=False) == float("inf")
+        assert h.quantile(0.0) == 1.0
 
     def test_empty_quantile_none(self):
         assert Histogram(boundaries=(1.0,)).quantile(0.5) is None
+
+    def test_out_of_range_quantile_rejected(self):
+        h = Histogram(boundaries=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
 
 
 class TestRegistry:

@@ -1,0 +1,442 @@
+"""Causal span reconstruction: well-formedness and equivalence.
+
+Four layers of checking for :mod:`repro.obs.spans`:
+
+* Hypothesis properties over random synthetic event streams: every
+  span tree the builder emits is *well-formed* (children nest inside
+  parents, times are monotone, ids unique, everything closed after
+  ``finish()``), and a live ``Tracer``-listener build is byte-identical
+  to an offline replay of the same events;
+* the same listener attached to a small-capacity **ring** tracer: span
+  reconstruction and trace queries both stay correct across
+  eviction-triggered compaction (listeners fire at record time, before
+  eviction, so the span tree must not care about the ring at all);
+* the paper scenario (Figure 2 receiver move): phase durations are the
+  paper's handover pipeline and sum exactly to the §4.3 join delay,
+  the leave-window span is the §4.3 leave delay, the export → import →
+  :func:`build_spans` round trip is byte-identical, and
+  ``scenario.finish()`` leaves nothing open;
+* handover edge shapes: return-home (zero-length CoA phase) and a
+  mid-pipeline second move (supersede).
+"""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LOCAL_MEMBERSHIP, PaperScenario, ScenarioConfig
+from repro.obs import (
+    HANDOVER_PHASES,
+    MetricsRegistry,
+    SpanBuilder,
+    SpanRecorder,
+    build_spans,
+    export_run,
+    import_run,
+    iter_spans,
+    spans_to_json,
+)
+from repro.obs.spans import SPAN_CATEGORIES
+from repro.sim import Tracer
+from repro.sim.trace import TraceEvent
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+class FakeClock:
+    now = 0.0
+
+
+def feed_stream(stream, capacity=None):
+    """Run ``stream`` (time, category, node, detail) through a live
+    tracer with an attached span listener; return (tracer, builder)."""
+    clock = FakeClock()
+    tracer = Tracer(clock, capacity=capacity)
+    builder = SpanBuilder()
+    tracer.add_listener(builder.feed, categories=SPAN_CATEGORIES)
+    for time, category, node, detail in stream:
+        clock.now = time
+        tracer.record(category, node, **detail)
+    return tracer, builder
+
+
+def assert_well_formed(roots):
+    """The invariants every finished span forest must satisfy."""
+    seen = set()
+    root_starts = [span.start for span in roots]
+    assert root_starts == sorted(root_starts)
+    for span in iter_spans(roots):
+        assert span.end is not None, f"{span.span_id} left open"
+        assert span.end >= span.start
+        assert span.span_id not in seen, f"duplicate id {span.span_id}"
+        seen.add(span.span_id)
+        child_starts = [child.start for child in span.children]
+        assert child_starts == sorted(child_starts)
+        for child in span.children:
+            assert child.parent_id == span.span_id
+            assert child.start >= span.start, f"{child.span_id} starts early"
+            assert child.end <= span.end, f"{child.span_id} outlives parent"
+
+
+# ----------------------------------------------------------------------
+# synthetic event streams (no simulator)
+# ----------------------------------------------------------------------
+G = "ff1e::1"
+EVENT_MENU = [
+    ("mobility", {"event": "detached", "from_link": "L4", "to_link": "L6"}),
+    ("mobility", {"event": "detached", "from_link": "L6", "to_link": "L4"}),
+    ("mobility", {"event": "blackout", "link": "L6", "duration": 2.0}),
+    ("mobility", {"event": "attached", "link": "L6"}),
+    ("mobility", {"event": "movement-detected", "link": "L6"}),
+    ("mobility", {"event": "coa-configured", "coa": "2001:db8::c", "link": "L6"}),
+    ("mobility", {"event": "returned-home"}),
+    ("mobility", {"event": "app-join", "group": G}),
+    ("mobility", {"event": "app-leave", "group": G}),
+    ("mobility", {"event": "send-lost-detached"}),
+    ("mipv6", {"event": "bu-sent", "seq": 1, "coa": "2001:db8::c"}),
+    ("mipv6", {"event": "bu-retransmit", "attempt": 1}),
+    ("mipv6", {"event": "ba-received", "status": 0, "seq": 1}),
+    ("mld", {"event": "report-sent", "group": G}),
+    ("mld", {"event": "members-gone", "iface": "B:L4", "link": "L4", "group": G}),
+    ("pim", {"event": "graft-sent", "source": "S", "group": G, "target": "B"}),
+    ("pim", {"event": "graft-acked", "source": "S", "group": G}),
+    ("pim", {"event": "assert-sent", "iface": "i0", "source": "S", "group": G,
+             "metric": 1}),
+    ("pim", {"event": "assert-lost", "iface": "i0", "source": "S", "group": G,
+             "winner": "B"}),
+    ("pim", {"event": "assert-winner-stored", "iface": "i0", "winner": "B",
+             "source": "S", "group": G}),
+    ("pim", {"event": "assert-expired", "iface": "i0", "source": "S", "group": G}),
+    ("pim", {"event": "prune-pending", "iface": "i0", "source": "S", "group": G}),
+    ("pim", {"event": "join-override-received", "iface": "i0", "source": "S",
+             "group": G}),
+    ("pim.state", {"event": "oif-pruned", "iface": "i0", "source": "S",
+                   "group": G}),
+    ("mcast.deliver", {"group": G, "flow": "f", "seqno": 1}),
+    ("mcast.forward", {"source": "S", "group": G, "links": ["L2"]}),  # ignored
+]
+
+stream_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=3.0, allow_nan=False),  # time delta
+        st.sampled_from(["R3", "R2", "B"]),
+        st.sampled_from(EVENT_MENU),
+    ),
+    min_size=0,
+    max_size=80,
+)
+
+
+def materialize(deltas):
+    stream, now = [], 0.0
+    for delta, node, (category, detail) in deltas:
+        now += delta
+        stream.append((now, category, node, dict(detail)))
+    return stream
+
+
+class TestSyntheticProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(stream_strategy)
+    def test_every_stream_yields_well_formed_closed_forest(self, deltas):
+        stream = materialize(deltas)
+        _, builder = feed_stream(stream)
+        roots = builder.finish()
+        assert builder.open_count == 0
+        assert_well_formed(roots)
+        assert builder.finish() is roots  # idempotent
+
+    @settings(max_examples=120, deadline=None)
+    @given(stream_strategy)
+    def test_live_and_replayed_trees_byte_identical(self, deltas):
+        stream = materialize(deltas)
+        tracer, builder = feed_stream(stream)
+        live = builder.finish()
+        replayed = build_spans(SimpleNamespace(events=list(tracer.events)))
+        assert spans_to_json(replayed) == spans_to_json(live)
+
+    @settings(max_examples=60, deadline=None)
+    @given(stream_strategy)
+    def test_span_ids_deterministic_across_rebuilds(self, deltas):
+        stream = materialize(deltas)
+        events = [
+            TraceEvent(t, category, node, detail)
+            for t, category, node, detail in stream
+        ]
+        first = build_spans(SimpleNamespace(events=events))
+        second = build_spans(SimpleNamespace(events=events))
+        assert spans_to_json(first) == spans_to_json(second)
+
+
+# ----------------------------------------------------------------------
+# ring-buffer tracer: spans and queries across eviction + compaction
+# ----------------------------------------------------------------------
+def handover_cycle(t0, node="R3"):
+    """One scripted handover (with leave/graft/delivery) plus enough
+    data-plane filler to force ring eviction between cycles."""
+    yield (t0 + 0.0, "mobility", node,
+           {"event": "detached", "from_link": "L4", "to_link": "L6"})
+    yield (t0 + 0.1, "mobility", node, {"event": "attached", "link": "L6"})
+    yield (t0 + 1.1, "mobility", node, {"event": "movement-detected", "link": "L6"})
+    yield (t0 + 1.6, "mobility", node,
+           {"event": "coa-configured", "coa": "2001:db8::c", "link": "L6"})
+    yield (t0 + 1.6, "mipv6", node, {"event": "bu-sent", "seq": 1, "coa": "c"})
+    yield (t0 + 1.7, "mipv6", node, {"event": "ba-received", "status": 0, "seq": 1})
+    yield (t0 + 1.7, "mld", node, {"event": "report-sent", "group": G})
+    yield (t0 + 1.8, "pim", "B",
+           {"event": "graft-sent", "source": "S", "group": G, "target": "A"})
+    yield (t0 + 1.9, "pim", "B", {"event": "graft-acked", "source": "S", "group": G})
+    yield (t0 + 2.0, "mld", "B",
+           {"event": "members-gone", "iface": "B:L4", "link": "L4", "group": G})
+    yield (t0 + 2.1, "mcast.deliver", node, {"group": G, "flow": "f", "seqno": 1})
+    yield (t0 + 2.2, "mobility", node,
+           {"event": "detached", "from_link": "L6", "to_link": "L4"})
+    yield (t0 + 2.3, "mobility", node, {"event": "attached", "link": "L4"})
+    yield (t0 + 3.3, "mobility", node, {"event": "movement-detected", "link": "L4"})
+    yield (t0 + 3.3, "mobility", node, {"event": "returned-home"})
+    yield (t0 + 3.4, "mcast.deliver", node, {"group": G, "flow": "f", "seqno": 2})
+    for k in range(10):
+        yield (t0 + 3.5 + 0.01 * k, "mcast.forward", "A",
+               {"source": "S", "group": G, "links": ["L2"], "uid": k})
+
+
+def scripted_stream(cycles=40):
+    stream = [(0.0, "mobility", "R3", {"event": "app-join", "group": G})]
+    for c in range(cycles):
+        stream.extend(handover_cycle(10.0 * c + 5.0))
+    return stream
+
+
+class TestRingBufferWithSpanListener:
+    CAPACITY = 16
+
+    def test_spans_and_queries_survive_eviction_compaction(self):
+        stream = scripted_stream()
+        seen = []
+        clock = FakeClock()
+        ring = Tracer(clock, capacity=self.CAPACITY)
+        builder = SpanBuilder()
+        ring.add_listener(builder.feed, categories=SPAN_CATEGORIES)
+        ring.add_listener(seen.append)  # unfiltered: every event
+        for time, category, node, detail in stream:
+            clock.now = time
+            ring.record(category, node, **detail)
+
+        # eviction happened repeatedly and compaction actually ran
+        # (the dead prefix is bounded by the live window, so it was cut)
+        assert ring.store.evicted == len(stream) - self.CAPACITY
+        assert ring.store.evicted > self.CAPACITY
+        assert len(ring.store) == self.CAPACITY
+        assert ring.store.total_recorded == len(stream)
+
+        # listeners saw every event, in order, before any eviction
+        assert [(e.time, e.category, e.node) for e in seen] == [
+            (t, c, n) for t, c, n, _ in stream
+        ]
+
+        # the live window is the exact stream suffix and queries agree
+        # with a linear scan over that suffix
+        tail = stream[-self.CAPACITY:]
+        assert [(e.time, e.category, e.node, e.detail) for e in ring.events] == [
+            (t, c, n, d) for t, c, n, d in tail
+        ]
+        for kw in (
+            {"category": "mcast.forward"},
+            {"category": "mobility", "node": "R3"},
+            {"node": "A"},
+            {"since": tail[0][0]},
+            {"category": "mcast.forward", "until": tail[-1][0]},
+        ):
+            expected = [
+                (t, c, n)
+                for t, c, n, d in tail
+                if (kw.get("category") is None or c == kw["category"])
+                and (kw.get("node") is None or n == kw["node"])
+                and (kw.get("since") is None or t >= kw["since"])
+                and (kw.get("until") is None or t <= kw["until"])
+            ]
+            assert [
+                (e.time, e.category, e.node) for e in ring.query(**kw)
+            ] == expected
+            assert ring.count(**kw) == len(expected)
+
+        # the span tree is identical to one built from the full stream:
+        # ring eviction must be invisible to the listener-fed builder
+        ring_roots = builder.finish()
+        full_events = [TraceEvent(t, c, n, d) for t, c, n, d in stream]
+        full_roots = build_spans(SimpleNamespace(events=full_events))
+        assert spans_to_json(ring_roots) == spans_to_json(full_roots)
+        assert_well_formed(ring_roots)
+
+        # every scripted handover completed: 2 per cycle, all joined
+        handovers = [s for s in ring_roots if s.kind == "handover"]
+        assert len(handovers) == 2 * 40
+        assert all(h.attrs.get("joined") for h in handovers)
+        returns = [
+            h for h in handovers
+            if any(
+                p.attrs.get("returned_home")
+                for p in h.children
+                if p.kind == "phase"
+            )
+        ]
+        assert len(returns) == 40
+
+
+# ----------------------------------------------------------------------
+# the paper scenario: Figure 2 receiver move, spans vs §4.3 metrics
+# ----------------------------------------------------------------------
+MOVE_AT = 40.0
+
+
+@pytest.fixture(scope="module")
+def fig2_spans(tmp_path_factory):
+    registry = MetricsRegistry()
+    sc = PaperScenario(
+        ScenarioConfig(seed=0, approach=LOCAL_MEMBERSHIP, trace_spans=False)
+    )
+    recorder = SpanRecorder(registry=registry, approach="local").attach(
+        sc.net.tracer
+    )
+    sc.spans = recorder
+    sc.converge()
+    sc.move("R3", "L6", at=MOVE_AT)
+    # run past the MLD membership timeout so the leave-window closes
+    sc.run_until(MOVE_AT + 260.0 + 30.0)
+    sc.finish()
+    path = str(tmp_path_factory.mktemp("spans") / "fig2.jsonl")
+    export_run(path, sc.net.tracer, snapshots=(), meta={"move_time": MOVE_AT})
+    return sc, recorder, registry, path
+
+
+def the_handover(roots):
+    spans = [
+        s
+        for s in roots
+        if s.kind == "handover" and s.node == "R3" and s.start >= MOVE_AT
+    ]
+    assert len(spans) == 1
+    return spans[0]
+
+
+class TestScenarioSpans:
+    def test_everything_closed_by_scenario_finish(self, fig2_spans):
+        _, recorder, _, _ = fig2_spans
+        assert recorder.builder.open_count == 0
+        assert all(s.end is not None for s in iter_spans(recorder.roots))
+        assert_well_formed(recorder.roots)
+
+    def test_pipeline_phases_sum_to_join_delay(self, fig2_spans):
+        sc, recorder, _, _ = fig2_spans
+        handover = the_handover(recorder.roots)
+        phases = [c for c in handover.children if c.kind == "phase"]
+        assert [p.name for p in phases] == list(HANDOVER_PHASES)
+        # contiguous: each phase starts where the previous one ends
+        assert phases[0].start == handover.start
+        for prev, cur in zip(phases, phases[1:]):
+            assert cur.start == prev.end
+        # the paper's fixed pipeline delays (§4.1 / EXP-F2)
+        assert phases[0].duration == pytest.approx(0.1)
+        assert phases[1].duration == pytest.approx(1.0)
+        assert phases[2].duration == pytest.approx(0.5)
+        # delivery arrived in the rejoin phase and the four durations
+        # sum exactly to the app-level join delay
+        assert handover.attrs["delivered_in"] == "rejoin"
+        join = sc.join_delay("R3", MOVE_AT)
+        assert sum(p.duration for p in phases) == pytest.approx(join, abs=1e-9)
+        assert handover.attrs["first_delivery"] - handover.start == pytest.approx(
+            join, abs=1e-9
+        )
+        assert handover.attrs["joined"] is True
+
+    def test_leave_window_is_the_leave_delay(self, fig2_spans):
+        sc, recorder, _, _ = fig2_spans
+        handover = the_handover(recorder.roots)
+        leaves = [
+            s
+            for s in recorder.roots
+            if s.kind == "leave-window"
+            and s.attrs.get("handover") == handover.span_id
+        ]
+        assert len(leaves) == 1
+        leave = leaves[0]
+        assert leave.attrs["left"] is True
+        assert leave.attrs["link"] == "L4"
+        assert leave.duration == pytest.approx(
+            sc.leave_delay("L4", MOVE_AT), abs=1e-9
+        )
+
+    def test_binding_update_child_acked(self, fig2_spans):
+        _, recorder, _, _ = fig2_spans
+        handover = the_handover(recorder.roots)
+        updates = [c for c in handover.children if c.kind == "binding-update"]
+        assert len(updates) == 1
+        assert updates[0].attrs.get("acked") is True
+
+    def test_live_equals_offline_replay_of_export(self, fig2_spans):
+        _, recorder, _, path = fig2_spans
+        live_json = spans_to_json(recorder.roots)
+        # replay straight off the live tracer and off the JSONL archive
+        archive = import_run(path)
+        assert spans_to_json(build_spans(archive)) == live_json
+
+    def test_durations_flow_into_histogram(self, fig2_spans):
+        _, recorder, registry, _ = fig2_spans
+        family = registry.get("repro_span_duration_seconds")
+        child = family.labels(kind="phase", phase="movement-detection",
+                              approach="local")
+        assert child.count >= 1
+        assert child.sum == pytest.approx(1.0)
+        total = sum(h.count for h in family.samples().values())
+        assert total == sum(1 for _ in iter_spans(recorder.roots))
+
+
+# ----------------------------------------------------------------------
+# handover edge shapes
+# ----------------------------------------------------------------------
+class TestHandoverEdges:
+    def run_moves(self, moves, until=120.0):
+        sc = PaperScenario(
+            ScenarioConfig(seed=0, approach=LOCAL_MEMBERSHIP, trace_spans=True)
+        )
+        sc.converge()
+        for node, link, at in moves:
+            sc.move(node, link, at=at)
+        sc.run_until(until)
+        sc.finish()
+        return sc
+
+    def test_return_home_closes_coa_phase_instantly(self):
+        sc = self.run_moves([("R3", "L6", 40.0), ("R3", "L4", 70.0)])
+        roots = sc.spans.roots
+        assert_well_formed(roots)
+        homecoming = [
+            s
+            for s in roots
+            if s.kind == "handover" and s.node == "R3" and s.start >= 70.0
+        ]
+        assert len(homecoming) == 1
+        phases = {c.name: c for c in homecoming[0].children if c.kind == "phase"}
+        coa = phases["coa-configuration"]
+        assert coa.attrs.get("returned_home") is True
+        assert coa.duration == 0.0
+        assert homecoming[0].attrs.get("joined") is True
+
+    def test_second_move_supersedes_open_handover(self):
+        # the second detach lands mid-pipeline (0.8 s < the 1.6 s join)
+        sc = self.run_moves([("R3", "L6", 40.0), ("R3", "L4", 40.8)])
+        roots = sc.spans.roots
+        assert_well_formed(roots)
+        handovers = [
+            s
+            for s in roots
+            if s.kind == "handover" and s.node == "R3" and s.start >= 40.0
+        ]
+        assert len(handovers) == 2
+        first, second = handovers
+        assert first.attrs.get("closed_by") == "superseded"
+        assert first.attrs.get("joined") is False
+        assert first.end == pytest.approx(second.start)
+        assert second.attrs.get("joined") is True
