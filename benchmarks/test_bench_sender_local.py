@@ -1,4 +1,4 @@
-"""EXP-S1 — §4.2.2-A / §4.3.1: mobile sender with local sending.
+"""EXP-C6 — §4.2.2-A / §4.3.1: mobile sender with local sending.
 
 Two moves of Sender S under the local-sending approach:
 

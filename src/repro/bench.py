@@ -24,6 +24,10 @@ Phases
 ``campaign`` (skipped with ``--quick``)
     A one-cell §4.4 timer sweep through the parallel campaign engine,
     exercising the worker/serialization path end to end.
+``topogen`` (skipped with ``--quick``)
+    An EXP-S1 scale cell on a generated 155-router hierarchy —
+    topology generation, compact per-(S,G) state and receiver mobility
+    in one macro-run (see docs/TOPOLOGIES.md).
 
 Schema (``BENCH_KERNEL.json``, ``bench-kernel/v1``)
 ---------------------------------------------------
@@ -199,6 +203,36 @@ def _phase_campaign() -> Dict[str, Any]:
     }
 
 
+def _phase_topogen() -> Dict[str, Any]:
+    """One EXP-S1 scale cell on a generated 155-router hierarchy.
+
+    Exercises the topology generator, the compact (S,G) state backend
+    and the mobility scheduler together — the macro-path behind the
+    ``repro sweep scale`` study (see docs/TOPOLOGIES.md).
+    """
+    from .core.scalestudy import scale_cell
+
+    started = perf_counter()
+    row = scale_cell(
+        model_params={"depth": 3, "fanout": 5},
+        receivers=500,
+        groups=1,
+        mobility=0.05,
+        warmup=8.0,
+        duration=20.0,
+    )
+    wall = perf_counter() - started
+    events = row["events"]
+    return {
+        "events": events,
+        "wall_time_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "routers": row["routers"],
+        "state_entries": row["state"]["total_entries"],
+        "aggregation_gain": row["aggregation_gain"],
+    }
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -223,6 +257,7 @@ def run_benchmarks(quick: bool = False, scale: float = 1.0) -> Dict[str, Any]:
     phases["scenario"] = _phase_scenario()
     if not quick:
         phases["campaign"] = _phase_campaign()
+        phases["topogen"] = _phase_topogen()
 
     return {
         "schema": SCHEMA,

@@ -15,6 +15,7 @@ Registered tasks:
 ``scaling.mobiles``      HA load for one mobile-host count
 ``scaling.groups``       HA load for one group count
 ``scaling.rate``         HA load for one source rate
+``scale.cell``           one EXP-S1 generated-topology scaling cell
 ``faults.receiver``      one resilience row under wireless loss
 ``faults.ha_crash``      one resilience row under a home-agent crash
 ``spans.receiver``       one phase-attributed handover breakdown row
@@ -203,6 +204,41 @@ def scaling_rate(
 
     return ha_load_rate_cell(
         packet_interval, seed=seed, measure_window=measure_window
+    )
+
+
+# ----------------------------------------------------------------------
+# EXP-S1 topology-scaling cells
+# ----------------------------------------------------------------------
+
+@register_task("scale.cell")
+def scale_cell_task(
+    model: str = "hier",
+    model_params: Optional[Dict[str, Any]] = None,
+    receivers: int = 100,
+    groups: int = 1,
+    mobility: float = 0.0,
+    backend: str = "compact",
+    seed: int = 0,
+    warmup: float = 10.0,
+    duration: float = 30.0,
+    packet_interval: float = 1.0,
+    check_invariants: Optional[bool] = None,
+) -> Dict[str, Any]:
+    from ..core.scalestudy import scale_cell
+
+    return scale_cell(
+        model=model,
+        model_params=model_params,
+        receivers=receivers,
+        groups=groups,
+        mobility=mobility,
+        backend=backend,
+        seed=seed,
+        warmup=warmup,
+        duration=duration,
+        packet_interval=packet_interval,
+        check_invariants=check_invariants,
     )
 
 

@@ -17,6 +17,13 @@ Campaigns (see docs/CAMPAIGNS.md)::
     python -m repro sweep timers --intervals 10 25 --repeats 2 --jobs 2
     python -m repro sweep scaling --json
 
+Generated topologies (see docs/TOPOLOGIES.md)::
+
+    python -m repro topo --model hier --depth 3 --fanout 10   # describe
+    python -m repro topo --model waxman --nodes 80 --json     # + digest
+    python -m repro sweep scale --jobs 4                      # EXP-S1
+    python -m repro sweep scale --sizes 2x5 3x5 --receivers 100 500
+
 Fault injection (see docs/FAULTS.md)::
 
     python -m repro faults                         # loss sweep, 4 approaches
@@ -64,12 +71,14 @@ from .core import (
     ROUTER_LINKS,
     PaperScenario,
     ScenarioConfig,
+    render_scale_report,
     render_scaling,
     render_table1,
     run_full_comparison,
     run_ha_load_vs_groups,
     run_ha_load_vs_mobiles,
     run_ha_load_vs_rate,
+    run_scale_sweep,
     run_timer_sweep,
 )
 from .core.goldens import CANNED_RUNS
@@ -326,6 +335,30 @@ def _campaign_runner(args: argparse.Namespace, registry) -> CampaignRunner:
         raise SystemExit(f"error: invalid --cache-dir: {exc}")
 
 
+def _parse_scale_sizes(model: str, tokens) -> Optional[list]:
+    """``--sizes`` tokens to model-param dicts: hier takes DEPTHxFANOUT
+    pairs ("3x10"), fattree takes k values, waxman takes node counts."""
+    if tokens is None:
+        return None
+    sizes = []
+    for tok in tokens:
+        try:
+            if model == "hier":
+                depth, _, fanout = tok.partition("x")
+                sizes.append({"depth": int(depth), "fanout": int(fanout)})
+            elif model == "fattree":
+                sizes.append({"k": int(tok)})
+            else:
+                sizes.append({"n": int(tok)})
+        except ValueError:
+            expect = "DEPTHxFANOUT" if model == "hier" else "an integer"
+            raise SystemExit(
+                f"error: bad --sizes token {tok!r} for model {model!r} "
+                f"(expected {expect})"
+            )
+    return sizes
+
+
 def _sweep(args: argparse.Namespace) -> None:
     if args.repeats < 1:
         raise SystemExit(f"error: --repeats must be >= 1, got {args.repeats}")
@@ -370,6 +403,19 @@ def _sweep(args: argparse.Namespace) -> None:
             for p in points
         ]
         sections.append(render_sweep(points))
+    elif args.grid == "scale":
+        report = run_scale_sweep(
+            sizes=_parse_scale_sizes(args.topo_model, args.sizes),
+            receivers=tuple(args.receivers),
+            groups=tuple(args.groups),
+            mobility=tuple(args.mobility),
+            model=args.topo_model,
+            seed=args.seed,
+            duration=args.duration,
+            runner=runner,
+        )
+        payload["report"] = report
+        sections.append(render_scale_report(report))
     else:  # scaling
         mobiles = run_ha_load_vs_mobiles(counts=(1, 2, 4, 8), seed=args.seed,
                                          runner=runner)
@@ -837,6 +883,48 @@ def _profile(args: argparse.Namespace) -> None:
     print(profiler.report(top_n=args.top))
 
 
+def _topo(args: argparse.Namespace) -> None:
+    """Generate a topology, validate it, print its description."""
+    from .net.topogen import topo_graph
+
+    spec: Dict[str, Any] = {"model": args.model}
+    if args.model == "hier":
+        spec.update(depth=args.depth, fanout=args.fanout, seed=args.seed)
+    elif args.model == "fattree":
+        spec.update(k=args.k, seed=args.seed)
+    elif args.model == "waxman":
+        spec.update(n=args.nodes, alpha=args.alpha, beta=args.beta,
+                    seed=args.seed)
+    # figure1 takes no parameters
+    try:
+        graph = topo_graph(spec)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    graph.validate()
+    info = graph.describe()
+    if args.json:
+        _print_json({"experiment": "topo", **info})
+        return
+    print(f"model: {info['model']}")
+    if info["params"]:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(info["params"].items()))
+        print(f"params: {params}")
+    print(
+        f"routers: {info['routers']}  links: {info['links']}  "
+        f"leaf links: {info['leaf_links']}  interfaces: {info['interfaces']}"
+        + (f"  hosts: {info['hosts']}" if info["hosts"] else "")
+    )
+    deg = info["degree"]
+    print(
+        f"degree: min {deg['min']}, mean {deg['mean']:.2f}, max {deg['max']}"
+    )
+    print(
+        f"connected: {'yes' if info['connected'] else 'NO'}  "
+        f"diameter (est.): {info['diameter_estimate']}"
+    )
+    print(f"digest: {info['digest']}")
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": _fig1,
     "fig2": _fig2,
@@ -853,6 +941,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "spans": _spans,
     "profile": _profile,
     "bench": _bench,
+    "topo": _topo,
 }
 
 
@@ -910,7 +999,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an experiment grid through the parallel campaign engine "
         "(sharding + result cache; see docs/CAMPAIGNS.md)",
     )
-    sweep.add_argument("grid", choices=("compare", "timers", "scaling"),
+    sweep.add_argument("grid", choices=("compare", "timers", "scaling", "scale"),
                        nargs="?", default="compare",
                        help="which experiment grid to run (default: compare)")
     sweep.add_argument("--seed", type=int, default=0,
@@ -929,6 +1018,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also print campaign metrics (Prometheus text)")
     sweep.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+    sweep.add_argument("--topo-model", choices=("hier", "fattree", "waxman"),
+                       default="hier",
+                       help="generator for the scale grid (default: hier)")
+    sweep.add_argument("--sizes", nargs="+", default=None, metavar="SIZE",
+                       help="scale-grid topology sizes: DEPTHxFANOUT for "
+                       "hier (e.g. 3x10), k for fattree, node count for "
+                       "waxman (default: the EXP-S1 size ladder)")
+    sweep.add_argument("--receivers", type=int, nargs="+",
+                       default=[100, 1000],
+                       help="scale-grid mobile-receiver populations")
+    sweep.add_argument("--groups", type=int, nargs="+", default=[1, 4, 8],
+                       help="scale-grid multicast group counts")
+    sweep.add_argument("--mobility", type=float, nargs="+", default=[0.0],
+                       help="scale-grid mean handovers per receiver")
+    sweep.add_argument("--duration", type=float, default=30.0,
+                       help="scale-grid measurement window (sim seconds)")
     _add_supervisor_flags(sweep)
     _add_invariants_flag(sweep)
     faults = sub.add_parser(
@@ -962,6 +1067,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit machine-readable JSON instead of text")
     _add_supervisor_flags(faults)
     _add_invariants_flag(faults)
+    topo = sub.add_parser(
+        "topo",
+        help="generate and describe a seeded topology (deterministic "
+        "digest; see docs/TOPOLOGIES.md)",
+    )
+    topo.add_argument("--model", choices=("hier", "fattree", "waxman",
+                                          "figure1"),
+                      default="hier",
+                      help="topology generator (default: hier)")
+    topo.add_argument("--depth", type=int, default=3,
+                      help="hier: levels below the core (default: 3)")
+    topo.add_argument("--fanout", type=int, default=4,
+                      help="hier: children per router (default: 4)")
+    topo.add_argument("--k", type=int, default=4,
+                      help="fattree: arity k, even (default: 4)")
+    topo.add_argument("--nodes", type=int, default=50,
+                      help="waxman: router count (default: 50)")
+    topo.add_argument("--alpha", type=float, default=0.9,
+                      help="waxman: edge-probability scale (default: 0.9)")
+    topo.add_argument("--beta", type=float, default=0.25,
+                      help="waxman: distance decay (default: 0.25)")
+    topo.add_argument("--seed", type=int, default=0,
+                      help="topology seed (same seed, same digest)")
+    topo.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON instead of text")
     timers = sub.add_parser("timers", help="§4.4 MLD timer sweep")
     timers.add_argument("--seed", type=int, default=0)
     timers.add_argument("--intervals", type=float, nargs="+",

@@ -18,6 +18,13 @@ from .paper_topology import (
     build_paper_network,
 )
 from .report import generate_report
+from .scalestudy import (
+    DEFAULT_SIZES,
+    render_scale_report,
+    run_scale_sweep,
+    scale_cell,
+    scale_grid,
+)
 from .scaling import (
     ha_load_groups_cell,
     ha_load_mobiles_cell,
@@ -53,6 +60,7 @@ __all__ = [
     "Approach",
     "BIDIRECTIONAL_TUNNEL",
     "ComparisonReport",
+    "DEFAULT_SIZES",
     "HOST_HOMES",
     "LINK_PREFIXES",
     "LOCAL_MEMBERSHIP",
@@ -74,6 +82,7 @@ __all__ = [
     "ha_load_rate_cell",
     "per_hop_latency",
     "receiver_mobility_run",
+    "render_scale_report",
     "render_scaling",
     "render_sweep",
     "render_table1",
@@ -81,7 +90,10 @@ __all__ = [
     "run_ha_load_vs_groups",
     "run_ha_load_vs_mobiles",
     "run_ha_load_vs_rate",
+    "run_scale_sweep",
     "run_timer_sweep",
+    "scale_cell",
+    "scale_grid",
     "sender_mobility_run",
     "timer_point_run",
     "timer_sweep_cells",

@@ -67,10 +67,22 @@ class ScenarioConfig:
 class PaperScenario:
     """One simulation run over the Figure 1 network."""
 
-    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ScenarioConfig] = None,
+        paper: Optional[PaperNetwork] = None,
+    ) -> None:
+        """``paper`` injects a pre-built Figure 1 network — e.g. one
+        instantiated from :func:`repro.net.topogen.figure1_graph` via
+        ``GeneratedTopology.as_paper_network()`` — in place of the
+        hand-built :func:`build_paper_network`.  The injected network
+        must have been constructed with the same seed and protocol
+        configs as ``config`` carries; the generator-equivalence
+        fixture (tests/net/test_topogen_equivalence.py) pins that the
+        two constructions behave identically."""
         self.config = config or ScenarioConfig()
         cfg = self.config
-        self.paper: PaperNetwork = build_paper_network(
+        self.paper: PaperNetwork = paper or build_paper_network(
             seed=cfg.seed,
             mld_config=cfg.mld,
             pim_config=cfg.pim,

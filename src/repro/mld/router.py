@@ -294,6 +294,11 @@ class MldRouter:
             if iface_uid == iface.uid and r.active
         }
 
+    def membership_count(self) -> int:
+        """Number of live (iface, group) membership records — the MLD
+        contribution to the topology state gauges."""
+        return len(self._memberships)
+
     def membership_expiry(self, iface: Interface, group: Address) -> Optional[float]:
         """Absolute time the membership would expire (None if static/absent)."""
         record = self._memberships.get((iface.uid, Address(group).as_int()))

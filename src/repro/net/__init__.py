@@ -22,8 +22,27 @@ from .messages import ApplicationData, ControlPayload, Message
 from .node import Host, Node
 from .packet import IPV6_HEADER_BYTES, DestinationOption, Ipv6Packet
 from .routing import RouteEntry, RoutingTable, compute_router_fibs
-from .stats import CATEGORIES, LinkStats, NetworkStats, classify_packet
+from .stats import (
+    CATEGORIES,
+    STATE_BYTE_COSTS,
+    STATE_KINDS,
+    LinkStats,
+    NetworkStats,
+    classify_packet,
+    estimate_state_bytes,
+)
 from .topology import Network
+from .topogen import (
+    MODELS,
+    GeneratedTopology,
+    TopoGraph,
+    build_network,
+    fattree_graph,
+    figure1_graph,
+    hierarchical_graph,
+    topo_graph,
+    waxman_graph,
+)
 
 __all__ = [
     "ALL_NODES",
@@ -36,6 +55,7 @@ __all__ = [
     "CATEGORIES",
     "ControlPayload",
     "DestinationOption",
+    "GeneratedTopology",
     "GilbertElliottLoss",
     "Host",
     "IPV6_HEADER_BYTES",
@@ -43,6 +63,7 @@ __all__ = [
     "Ipv6Packet",
     "Link",
     "LinkStats",
+    "MODELS",
     "Message",
     "Network",
     "NetworkStats",
@@ -50,10 +71,20 @@ __all__ = [
     "Prefix",
     "RouteEntry",
     "RoutingTable",
+    "STATE_BYTE_COSTS",
+    "STATE_KINDS",
+    "TopoGraph",
+    "build_network",
     "classify_packet",
     "compute_router_fibs",
+    "estimate_state_bytes",
+    "fattree_graph",
+    "figure1_graph",
     "gilbert_for_mean_loss",
+    "hierarchical_graph",
     "is_multicast",
     "loss_model_from_jsonable",
     "make_multicast_group",
+    "topo_graph",
+    "waxman_graph",
 ]

@@ -26,7 +26,15 @@ from .packet import Ipv6Packet
 if TYPE_CHECKING:  # pragma: no cover
     from .link import Link
 
-__all__ = ["classify_packet", "LinkStats", "NetworkStats", "CATEGORIES"]
+__all__ = [
+    "classify_packet",
+    "estimate_state_bytes",
+    "LinkStats",
+    "NetworkStats",
+    "CATEGORIES",
+    "STATE_BYTE_COSTS",
+    "STATE_KINDS",
+]
 
 #: All categories charged by :func:`classify_packet`.
 CATEGORIES = (
@@ -37,6 +45,58 @@ CATEGORIES = (
     "mipv6",
     "tunnel_overhead",
 )
+
+
+#: Protocol-state entry kinds aggregated per topology.
+STATE_KINDS = (
+    "pim_sg",
+    "pim_downstream",
+    "pim_neighbor",
+    "mld_membership",
+    "mipv6_binding",
+)
+
+#: Analytic bytes-per-entry model for the memory-proxy gauges, per
+#: state backend (``repro.pimdm.state``).  Deterministic documented
+#: constants — not ``sys.getsizeof`` — so campaign results compare
+#: across machines and Python builds.  The model (CPython 64-bit):
+#:
+#: * ``dict`` (S,G) entry: dataclass instance with ``__dict__``
+#:   (~360 B), a key tuple of two 128-bit address ints (~160 B), and
+#:   an entries-dict slot (~100 B) → 620 B; each downstream state is a
+#:   ``__dict__`` dataclass (~320 B) plus its per-entry dict slot
+#:   (~100 B) → 420 B.
+#: * ``compact`` (S,G) entry: same dataclass body but a small-int
+#:   interned key (~28 B amortised) and a dense-dict slot → 450 B;
+#:   each downstream state is slotted (~110 B), indexed by a list slot
+#:   (8 B), with pruned/assert-loser flags pooled into two per-entry
+#:   bitmask ints (amortised ~2 B) → 120 B.
+#:
+#: Neighbor, MLD-membership, and binding-cache entries are identical
+#: under both backends; they dilute the aggregation gain exactly as
+#: unaggregatable state does in Helmy's study.
+STATE_BYTE_COSTS: Dict[str, Dict[str, int]] = {
+    "dict": {
+        "pim_sg": 620,
+        "pim_downstream": 420,
+        "pim_neighbor": 180,
+        "mld_membership": 250,
+        "mipv6_binding": 280,
+    },
+    "compact": {
+        "pim_sg": 450,
+        "pim_downstream": 120,
+        "pim_neighbor": 180,
+        "mld_membership": 250,
+        "mipv6_binding": 280,
+    },
+}
+
+
+def estimate_state_bytes(counts: Dict[str, int], backend: str) -> int:
+    """Total modelled bytes for ``counts`` under ``backend``'s costs."""
+    costs = STATE_BYTE_COSTS[backend]
+    return sum(costs.get(kind, 0) * value for kind, value in counts.items())
 
 
 def classify_packet(packet: Ipv6Packet) -> str:
@@ -104,6 +164,38 @@ class NetworkStats:
 
     def __init__(self) -> None:
         self._per_link: Dict[str, LinkStats] = {}
+        #: aggregate protocol-state entry counts (kind -> entries),
+        #: recorded by ``Network.collect_state`` — the topology-wide
+        #: memory proxy (peak RSS stand-in) for the scaling study
+        self.state_entries: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # aggregate protocol-state accounting (memory proxy)
+    # ------------------------------------------------------------------
+    def record_state(self, counts: Dict[str, int]) -> None:
+        """Record a snapshot of per-kind state-entry counts.
+
+        Keeps the per-kind **maximum** across snapshots so repeated
+        collection during a run yields a peak-state proxy rather than
+        whatever the final teardown left behind.
+        """
+        for kind, value in counts.items():
+            if value > self.state_entries.get(kind, 0):
+                self.state_entries[kind] = value
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """JSON-able view of the aggregate state accounting: per-kind
+        entry counts, the total, and the modelled byte cost under both
+        representations (their ratio is the aggregation gain)."""
+        entries = {kind: self.state_entries.get(kind, 0) for kind in STATE_KINDS}
+        return {
+            "entries": entries,
+            "total_entries": sum(entries.values()),
+            "bytes": {
+                backend: estimate_state_bytes(entries, backend)
+                for backend in sorted(STATE_BYTE_COSTS)
+            },
+        }
 
     def stats_for(self, link_name: str) -> LinkStats:
         stats = self._per_link.get(link_name)
@@ -201,6 +293,22 @@ class NetworkStats:
                 packets_gauge.labels(link=name, category=category).set(value)
             for reason, value in stats.drops_by_reason.items():
                 drops_gauge.labels(link=name, reason=reason).set(value)
+        if self.state_entries:
+            entries_gauge = registry.gauge(
+                "repro_state_entries",
+                "Aggregate protocol-state entries by kind (peak snapshot)",
+                ("kind",),
+            )
+            state_bytes_gauge = registry.gauge(
+                "repro_state_bytes",
+                "Modelled aggregate state bytes per representation backend",
+                ("backend",),
+            )
+            snapshot = self.state_snapshot()
+            for kind, value in snapshot["entries"].items():
+                entries_gauge.labels(kind=kind).set(value)
+            for backend, value in snapshot["bytes"].items():
+                state_bytes_gauge.labels(backend=backend).set(value)
 
     def render(self) -> str:
         """Human-readable table of per-link byte counters."""

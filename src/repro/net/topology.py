@@ -138,6 +138,39 @@ class Network:
         return dist[to_link]
 
     # ------------------------------------------------------------------
+    # aggregate state accounting
+    # ------------------------------------------------------------------
+    def collect_state(self) -> Dict[str, int]:
+        """Count live protocol-state entries across every node.
+
+        Engines are duck-typed (``node.pim.state_counts()``,
+        ``node.mld_router.membership_count()``, ``len(node.binding_cache)``)
+        so the net layer keeps no protocol dependency.  The counts are
+        recorded into :class:`NetworkStats` (peak-keeping) and returned;
+        ``stats.state_snapshot()`` adds the modelled byte costs.
+        """
+        counts: Dict[str, int] = {
+            "pim_sg": 0,
+            "pim_downstream": 0,
+            "pim_neighbor": 0,
+            "mld_membership": 0,
+            "mipv6_binding": 0,
+        }
+        for node in self.nodes.values():
+            pim = getattr(node, "pim", None)
+            if pim is not None:
+                for kind, value in pim.state_counts().items():
+                    counts[kind] = counts.get(kind, 0) + value
+            mld_router = getattr(node, "mld_router", None)
+            if mld_router is not None:
+                counts["mld_membership"] += mld_router.membership_count()
+            binding_cache = getattr(node, "binding_cache", None)
+            if binding_cache is not None:
+                counts["mipv6_binding"] += len(binding_cache)
+        self.stats.record_state(counts)
+        return counts
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:

@@ -12,10 +12,22 @@ from .messages import (
     PimStateRefresh,
 )
 from .router import MulticastRouter, PimDmEngine
-from .state import DownstreamState, SgEntry, sg_key
+from .state import (
+    STATE_BACKENDS,
+    DownstreamState,
+    OifSet,
+    SgEntry,
+    SgInterner,
+    StateStore,
+    sg_key,
+)
 
 __all__ = [
     "DownstreamState",
+    "OifSet",
+    "STATE_BACKENDS",
+    "SgInterner",
+    "StateStore",
     "MulticastRouter",
     "PimAssert",
     "PimDmConfig",

@@ -48,6 +48,12 @@ class PimDmConfig:
     state_refresh_enabled: bool = False
     #: Interval between State Refresh originations (s).
     state_refresh_interval: float = 60.0
+    #: (S,G) state representation: ``"compact"`` (interned keys,
+    #: array-backed downstream tables, bitset oif flags) or ``"dict"``
+    #: (the seed representation).  Behaviourally identical — the
+    #: differential golden tests pin byte-identical traces — but the
+    #: compact form is what makes thousand-router topologies fit.
+    state_backend: str = "compact"
 
     def __post_init__(self) -> None:
         if self.data_timeout <= 0:
@@ -60,3 +66,7 @@ class PimDmConfig:
             raise ValueError("graft_retry_interval must be positive")
         if self.state_refresh_interval <= 0:
             raise ValueError("state_refresh_interval must be positive")
+        if self.state_backend not in ("dict", "compact"):
+            raise ValueError(
+                f"state_backend must be 'dict' or 'compact', got {self.state_backend!r}"
+            )

@@ -49,6 +49,8 @@ JSON_CONTRACTS = [
     (["spans", "--approaches", "local", "--json"],
      {"experiment", "seed", "rows", "campaign"}),
     (["profile", "fig1", "--json"], {"total_events", "entries"}),
+    (["topo", "--model", "hier", "--depth", "2", "--fanout", "3", "--json"],
+     {"experiment", "model", "routers", "links", "digest", "connected"}),
     (["bench", "--quick", "--scale", "0.01", "--output", "/dev/null",
       "--json"],
      {"schema", "schema_version", "env", "phases", "events_per_sec"}),
@@ -97,6 +99,7 @@ class TestBadArguments:
             ["timers", "--intervals"],
             ["profile", "bogus-experiment"],
             ["trace", "--capacity", "many"],
+            ["topo", "--model", "bogus"],
         ],
         ids=lambda argv: " ".join(argv),
     )

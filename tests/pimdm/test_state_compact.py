@@ -1,0 +1,239 @@
+"""Differential tests: compact (S,G) state vs. the dict seed backend.
+
+The compact representation (interned keys, array-backed downstream
+tables, pooled :class:`OifSet` flag masks) must be *behaviourally
+transparent*: running any Figure 2-4 scenario under either backend
+must reproduce the committed golden trace digests byte-for-byte, and
+the table/bitset structures must agree with their plain dict/set
+models under arbitrary operation sequences.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PaperScenario, ScenarioConfig
+from repro.core.goldens import CANNED_RUNS
+from repro.net.node import Node
+from repro.obs import digest_events
+from repro.pimdm import PimDmConfig
+from repro.pimdm.state import (
+    STATE_BACKENDS,
+    CompactDownstreamTable,
+    DictDownstreamTable,
+    OifSet,
+    SgInterner,
+    StateStore,
+    sg_key,
+)
+from repro.net import Address
+from repro.sim import Simulator
+
+GOLDEN_DIR = Path(__file__).parent.parent / "goldens"
+
+S = Address("2001:db8:1::64")
+G = Address("ff1e::1")
+
+
+# ----------------------------------------------------------------------
+# golden differential: both backends reproduce the committed digests
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", STATE_BACKENDS)
+@pytest.mark.parametrize("name", ("fig2", "fig3", "fig4"))
+def test_backend_keeps_golden_digest(name: str, backend: str) -> None:
+    recipe = CANNED_RUNS[name]
+    sc = PaperScenario(
+        ScenarioConfig(
+            seed=0,
+            approach=recipe.approach,
+            pim=PimDmConfig(state_backend=backend),
+        )
+    )
+    sc.converge()
+    host, link = recipe.move
+    sc.move(host, link, at=recipe.move_at)
+    sc.run_until(recipe.run_until)
+
+    golden = json.loads((GOLDEN_DIR / f"{name}-seed0.json").read_text())
+    events = sc.net.tracer.events
+    assert len(events) == golden["events"], (
+        f"{name} under backend={backend} produced a different event count"
+    )
+    assert digest_events(events) == golden["digest"], (
+        f"{name} trace drifted under state_backend={backend!r}: the "
+        "compact representation must be behaviourally invisible"
+    )
+
+
+def test_unknown_backend_rejected() -> None:
+    with pytest.raises(ValueError):
+        PimDmConfig(state_backend="sparse")
+    with pytest.raises(ValueError):
+        StateStore("sparse")
+
+
+# ----------------------------------------------------------------------
+# OifSet vs. the set model
+# ----------------------------------------------------------------------
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(("add", "discard", "clear")),
+        st.integers(min_value=0, max_value=200),
+    ),
+    max_size=80,
+)
+
+
+class TestOifSetModel:
+    @settings(max_examples=200, deadline=None)
+    @given(ops)
+    def test_round_trip_against_set(self, sequence):
+        oif = OifSet()
+        model: set = set()
+        for op, uid in sequence:
+            if op == "add":
+                oif.add(uid)
+                model.add(uid)
+            elif op == "discard":
+                oif.discard(uid)
+                model.discard(uid)
+            else:
+                oif.clear()
+                model.clear()
+            assert len(oif) == len(model)
+            assert bool(oif) == bool(model)
+            assert sorted(oif) == sorted(model)
+            for uid2 in range(0, 16):
+                assert (uid2 in oif) == (uid2 in model)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=200), max_size=40))
+    def test_iteration_is_ascending_and_int_faithful(self, uids):
+        oif = OifSet()
+        for uid in uids:
+            oif.add(uid)
+        listed = list(oif)
+        assert listed == sorted(uids)
+        assert oif.as_int() == sum(1 << u for u in uids)
+        rebuilt = OifSet(oif.as_int())
+        assert rebuilt == oif
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            OifSet(-1)
+
+
+# ----------------------------------------------------------------------
+# downstream tables: compact vs. dict under the same op sequence
+# ----------------------------------------------------------------------
+table_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ("touch", "prune", "unprune", "lose", "clear_assert", "clear_prune")
+        ),
+        st.integers(min_value=0, max_value=5),
+    ),
+    max_size=60,
+)
+
+
+class TestDownstreamTableDifferential:
+    @settings(max_examples=100, deadline=None)
+    @given(table_ops)
+    def test_tables_agree(self, sequence):
+        sim = Simulator()
+        node = Node(sim, "N")
+        ifaces = [node.new_interface() for _ in range(6)]
+        dict_table = DictDownstreamTable()
+        compact_table = CompactDownstreamTable()
+        for op, idx in sequence:
+            iface = ifaces[idx]
+            for table in (dict_table, compact_table):
+                state = table.state_for(iface)
+                if op == "prune":
+                    state.pruned = True
+                elif op == "unprune":
+                    state.pruned = False
+                elif op == "lose":
+                    state.assert_loser = True
+                elif op == "clear_assert":
+                    state.clear_assert()
+                elif op == "clear_prune":
+                    state.clear_prune()
+        assert len(dict_table) == len(compact_table)
+        assert bool(dict_table) == bool(compact_table)
+        assert sorted(dict_table) == sorted(compact_table)
+        for iface in ifaces:
+            a = dict_table.get(iface.uid)
+            b = compact_table.get(iface.uid)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.pruned == b.pruned
+                assert a.assert_loser == b.assert_loser
+                assert a.prune_pending == b.prune_pending
+        # the pooled masks mirror the per-state flags exactly
+        assert sorted(compact_table.pruned_oifs) == sorted(
+            s.iface.uid for s in dict_table.values() if s.pruned
+        )
+        assert sorted(compact_table.assert_loser_oifs) == sorted(
+            s.iface.uid for s in dict_table.values() if s.assert_loser
+        )
+
+    def test_state_for_is_idempotent(self):
+        sim = Simulator()
+        node = Node(sim, "N")
+        iface = node.new_interface()
+        table = CompactDownstreamTable()
+        assert table.state_for(iface) is table.state_for(iface)
+        assert table.get(iface.uid) is table.state_for(iface)
+        assert table.get(999) is None
+
+
+# ----------------------------------------------------------------------
+# keying: interned ids vs. address-pair tuples
+# ----------------------------------------------------------------------
+addresses = st.integers(min_value=1, max_value=50).map(
+    lambda i: Address(f"2001:db8:1::{i:x}")
+)
+groups = st.integers(min_value=1, max_value=50).map(lambda i: Address(f"ff1e::{i:x}"))
+
+
+class TestStateStoreKeys:
+    def test_dict_backend_uses_sg_key(self):
+        store = StateStore("dict")
+        assert store.key(S, G) == sg_key(S, G)
+        assert store.interner is None
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(addresses, groups), min_size=1, max_size=40))
+    def test_compact_keys_are_dense_and_consistent(self, pairs):
+        store = StateStore("compact")
+        model = {}
+        for source, group in pairs:
+            key = store.key(source, group)
+            pair = sg_key(source, group)
+            if pair in model:
+                assert model[pair] == key  # stable on re-lookup
+            else:
+                assert key == len(model)  # dense allocation in first-seen order
+                model[pair] = key
+        # distinct pairs never share a key
+        assert len(set(model.values())) == len(model)
+
+    def test_reset_discards_interned_ids(self):
+        store = StateStore("compact")
+        first = store.key(S, G)
+        store.key(Address("2001:db8:1::65"), G)
+        store.reset()
+        assert store.key(Address("2001:db8:1::65"), G) == first
+
+    def test_interner_round_trips_addresses(self):
+        interner = SgInterner()
+        ident = interner.intern_address(S)
+        assert interner.address(ident) == S
+        assert interner.intern_address(Address(str(S))) == ident
+        assert len(interner) == 1
