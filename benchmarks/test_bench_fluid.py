@@ -1,0 +1,85 @@
+"""EXP-S2 regression guard — fluid engine event reduction.
+
+Runs one medium EXP-S2 cell pair (docs/TRAFFIC.md, EXPERIMENTS.md
+§EXP-S2) — a depth-2 / fanout-10 hierarchy, 500 receivers, 2%
+per-interval mobility — under both traffic engines and gates the
+fluid engine's contract:
+
+* data-plane transmission reduction >= 100x (the ISSUE/ROADMAP gate:
+  packet-mode data transmissions vs fluid probe transmissions at equal
+  simulated traffic),
+* mcast byte agreement within the docs/TRAFFIC.md tolerance,
+* fluid-mode dispatched events bounded (deterministic — the fluid run
+  must stay control-plane sized, not data-plane sized).
+
+Calibration (reference machine): packet 254,572 events / 44,400 data
+transmissions in ~7 s; fluid 11,588 events / 111 probe transmissions
+in ~0.7 s — 400x data-plane reduction, byte error 1.1e-04.
+"""
+
+from time import perf_counter
+
+from repro.core.fluidstudy import fluid_cell
+
+from bench_utils import once, save_report
+
+# committed budgets — deterministic unless noted
+DATA_REDUCTION_FLOOR = 100.0
+BYTE_REL_ERR_MAX = 0.02
+FLUID_EVENTS_BUDGET = 150_000
+RECEIVERS = 500
+
+_COMMON = dict(
+    model_params={"depth": 2, "fanout": 10},
+    receivers=RECEIVERS,
+    mobility=0.02,
+    seed=0,
+    warmup=10.0,
+    duration=20.0,
+    packet_interval=0.05,
+    probe_interval=30.0,
+)
+
+
+def run():
+    t0 = perf_counter()
+    packet = fluid_cell(traffic_model="packet", **_COMMON)
+    t1 = perf_counter()
+    fluid = fluid_cell(traffic_model="fluid", **_COMMON)
+    t2 = perf_counter()
+    return packet, fluid, t1 - t0, t2 - t1
+
+
+def test_bench_fluid_reduction(benchmark):
+    packet, fluid, packet_wall, fluid_wall = once(benchmark, run)
+
+    probe_tx = max(fluid["probe_transmissions"], 1)
+    reduction = packet["data_transmissions"] / probe_tx
+    base = max(packet["mcast_bytes"], 1)
+    byte_err = abs(fluid["mcast_bytes"] - packet["mcast_bytes"]) / base
+
+    report = [
+        f"EXP-S2 medium cell: {packet['routers']} routers, "
+        f"{RECEIVERS} receivers, mobility 0.02 "
+        f"(graph {packet['graph_digest'][:12]})",
+        f"packet engine: {packet['events']:,} events, "
+        f"{packet['data_transmissions']:,.0f} data transmissions "
+        f"in {packet_wall:.1f}s",
+        f"fluid engine:  {fluid['events']:,} events, "
+        f"{fluid['probe_transmissions']:,} probe transmissions "
+        f"in {fluid_wall:.1f}s "
+        f"({fluid['traffic']['recomputes']:,} rate recomputations)",
+        f"data-plane reduction: {reduction:,.1f}x "
+        f"(floor {DATA_REDUCTION_FLOOR:,.0f}x)",
+        f"total-event reduction: {packet['events'] / max(fluid['events'], 1):.2f}x",
+        f"mcast byte agreement: rel error {byte_err:.2e} "
+        f"(max {BYTE_REL_ERR_MAX})",
+    ]
+    save_report("fluid_reduction", "\n".join(report))
+
+    assert packet["moves"] > 0  # mobility exercised handovers
+    assert fluid["moves"] == packet["moves"]  # same mobility schedule
+    assert reduction >= DATA_REDUCTION_FLOOR
+    assert byte_err <= BYTE_REL_ERR_MAX
+    assert fluid["events"] <= FLUID_EVENTS_BUDGET
+    assert fluid["events"] < packet["events"]

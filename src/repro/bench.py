@@ -28,6 +28,12 @@ Phases
     An EXP-S1 scale cell on a generated 155-router hierarchy —
     topology generation, compact per-(S,G) state and receiver mobility
     in one macro-run (see docs/TOPOLOGIES.md).
+``traffic_fluid``
+    An EXP-S2 fluid-engine cell: analytic rate integration over a
+    30-router hierarchy with receiver mobility.  Throughput here is
+    dominated by the recompute path (tree walk per protocol event),
+    the cost the fluid engine trades the per-packet event storm for
+    (see docs/TRAFFIC.md).
 
 Schema (``BENCH_KERNEL.json``, ``bench-kernel/v1``)
 ---------------------------------------------------
@@ -233,6 +239,38 @@ def _phase_topogen() -> Dict[str, Any]:
     }
 
 
+def _phase_traffic_fluid() -> Dict[str, Any]:
+    """One EXP-S2 fluid cell: rate integration + probe decimation.
+
+    ``events_per_sec`` counts dispatched simulator events as usual, but
+    the interesting per-phase extras are the recompute count (one tree
+    walk per protocol-event timestamp — the fluid engine's hot path)
+    and the data-plane decimation vs. what packet mode would transmit.
+    """
+    from .core.fluidstudy import fluid_cell
+
+    started = perf_counter()
+    row = fluid_cell(
+        model_params={"depth": 2, "fanout": 5},
+        receivers=200,
+        mobility=0.05,
+        warmup=8.0,
+        duration=20.0,
+        packet_interval=0.05,
+        probe_interval=10.0,
+    )
+    wall = perf_counter() - started
+    events = row["events"]
+    return {
+        "events": events,
+        "wall_time_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "routers": row["routers"],
+        "recomputes": row["traffic"]["recomputes"],
+        "probes": row["probe_transmissions"],
+    }
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -255,6 +293,7 @@ def run_benchmarks(quick: bool = False, scale: float = 1.0) -> Dict[str, Any]:
     phases["dispatch"] = _phase_dispatch(n_dispatch)
     phases["timer_restart"] = _phase_timer_restart(n_restart)
     phases["scenario"] = _phase_scenario()
+    phases["traffic_fluid"] = _phase_traffic_fluid()
     if not quick:
         phases["campaign"] = _phase_campaign()
         phases["topogen"] = _phase_topogen()

@@ -16,6 +16,7 @@ Registered tasks:
 ``scaling.groups``       HA load for one group count
 ``scaling.rate``         HA load for one source rate
 ``scale.cell``           one EXP-S1 generated-topology scaling cell
+``fluid.cell``           one EXP-S2 packet-vs-fluid traffic cell
 ``faults.receiver``      one resilience row under wireless loss
 ``faults.ha_crash``      one resilience row under a home-agent crash
 ``spans.receiver``       one phase-attributed handover breakdown row
@@ -104,6 +105,8 @@ def comparison_receiver(
     measure_leave: bool = True,
     mld: Optional[Dict[str, Any]] = None,
     packet_interval: float = 0.05,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     from ..core.comparison import receiver_mobility_run
 
@@ -117,6 +120,8 @@ def comparison_receiver(
         measure_leave=measure_leave,
         mld=_mld(mld),
         packet_interval=packet_interval,
+        traffic_model=traffic_model,
+        probe_interval=probe_interval,
     )
 
 
@@ -129,6 +134,8 @@ def comparison_sender(
     run_until: float = 100.0,
     mld: Optional[Dict[str, Any]] = None,
     packet_interval: float = 0.05,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     from ..core.comparison import sender_mobility_run
 
@@ -140,6 +147,8 @@ def comparison_sender(
         run_until=run_until,
         mld=_mld(mld),
         packet_interval=packet_interval,
+        traffic_model=traffic_model,
+        probe_interval=probe_interval,
     )
 
 
@@ -172,11 +181,21 @@ def timers_point(
 
 @register_task("scaling.mobiles")
 def scaling_mobiles(
-    mobiles: int, seed: int = 0, measure_window: float = 30.0
+    mobiles: int,
+    seed: int = 0,
+    measure_window: float = 30.0,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     from ..core.scaling import ha_load_mobiles_cell
 
-    return ha_load_mobiles_cell(mobiles, seed=seed, measure_window=measure_window)
+    return ha_load_mobiles_cell(
+        mobiles,
+        seed=seed,
+        measure_window=measure_window,
+        traffic_model=traffic_model,
+        probe_interval=probe_interval,
+    )
 
 
 @register_task("scaling.groups")
@@ -185,6 +204,8 @@ def scaling_groups(
     seed: int = 0,
     measure_window: float = 30.0,
     packet_interval: float = 0.1,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     from ..core.scaling import ha_load_groups_cell
 
@@ -193,17 +214,27 @@ def scaling_groups(
         seed=seed,
         measure_window=measure_window,
         packet_interval=packet_interval,
+        traffic_model=traffic_model,
+        probe_interval=probe_interval,
     )
 
 
 @register_task("scaling.rate")
 def scaling_rate(
-    packet_interval: float, seed: int = 0, measure_window: float = 30.0
+    packet_interval: float,
+    seed: int = 0,
+    measure_window: float = 30.0,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     from ..core.scaling import ha_load_rate_cell
 
     return ha_load_rate_cell(
-        packet_interval, seed=seed, measure_window=measure_window
+        packet_interval,
+        seed=seed,
+        measure_window=measure_window,
+        traffic_model=traffic_model,
+        probe_interval=probe_interval,
     )
 
 
@@ -224,6 +255,8 @@ def scale_cell_task(
     duration: float = 30.0,
     packet_interval: float = 1.0,
     check_invariants: Optional[bool] = None,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     from ..core.scalestudy import scale_cell
 
@@ -239,6 +272,51 @@ def scale_cell_task(
         duration=duration,
         packet_interval=packet_interval,
         check_invariants=check_invariants,
+        traffic_model=traffic_model,
+        probe_interval=probe_interval,
+    )
+
+
+# ----------------------------------------------------------------------
+# EXP-S2 fluid-traffic cells
+# ----------------------------------------------------------------------
+
+@register_task("fluid.cell")
+def fluid_cell_task(
+    model: str = "hier",
+    model_params: Optional[Dict[str, Any]] = None,
+    receivers: int = 1000,
+    receiver_weight: int = 1,
+    traffic_model: str = "fluid",
+    groups: int = 1,
+    mobility: float = 0.0,
+    backend: str = "compact",
+    seed: int = 0,
+    warmup: float = 10.0,
+    duration: float = 30.0,
+    packet_interval: float = 0.05,
+    payload_bytes: int = 1000,
+    probe_interval: Optional[float] = None,
+) -> Dict[str, Any]:
+    from ..core.fluidstudy import DEFAULT_PROBE_INTERVAL, fluid_cell
+
+    return fluid_cell(
+        model=model,
+        model_params=model_params,
+        receivers=receivers,
+        receiver_weight=receiver_weight,
+        traffic_model=traffic_model,
+        groups=groups,
+        mobility=mobility,
+        backend=backend,
+        seed=seed,
+        warmup=warmup,
+        duration=duration,
+        packet_interval=packet_interval,
+        payload_bytes=payload_bytes,
+        probe_interval=(
+            DEFAULT_PROBE_INTERVAL if probe_interval is None else probe_interval
+        ),
     )
 
 

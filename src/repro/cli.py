@@ -71,9 +71,11 @@ from .core import (
     ROUTER_LINKS,
     PaperScenario,
     ScenarioConfig,
+    render_fluid_report,
     render_scale_report,
     render_scaling,
     render_table1,
+    run_fluid_study,
     run_full_comparison,
     run_ha_load_vs_groups,
     run_ha_load_vs_mobiles,
@@ -101,8 +103,18 @@ def _print_json(payload: Any) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True, default=str))
 
 
+def _scenario_config(args: argparse.Namespace, approach) -> ScenarioConfig:
+    """ScenarioConfig from the shared experiment flags."""
+    return ScenarioConfig(
+        seed=args.seed,
+        approach=approach,
+        traffic_model=getattr(args, "traffic_model", "packet"),
+        probe_interval=getattr(args, "probe_interval", None),
+    )
+
+
 def _fig1(args: argparse.Namespace) -> None:
-    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=LOCAL_MEMBERSHIP))
+    sc = PaperScenario(_scenario_config(args, LOCAL_MEMBERSHIP))
     sc.converge()
     sc.finish()
     asserts, prunes = sc.metrics.assert_count(), sc.metrics.prune_count()
@@ -123,7 +135,7 @@ def _fig1(args: argparse.Namespace) -> None:
 
 
 def _fig2(args: argparse.Namespace) -> None:
-    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=LOCAL_MEMBERSHIP))
+    sc = PaperScenario(_scenario_config(args, LOCAL_MEMBERSHIP))
     sc.converge()
     sc.move("R3", "L6", at=40.0)
     sc.run_until(40.0 + 260.0 + 30.0)
@@ -148,7 +160,7 @@ def _fig2(args: argparse.Namespace) -> None:
 
 
 def _fig3(args: argparse.Namespace) -> None:
-    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=BIDIRECTIONAL_TUNNEL))
+    sc = PaperScenario(_scenario_config(args, BIDIRECTIONAL_TUNNEL))
     sc.converge()
     sc.move("R3", "L1", at=40.0)
     sc.run_until(90.0)
@@ -177,7 +189,7 @@ def _fig3(args: argparse.Namespace) -> None:
 
 
 def _fig4(args: argparse.Namespace) -> None:
-    sc = PaperScenario(ScenarioConfig(seed=args.seed, approach=BIDIRECTIONAL_TUNNEL))
+    sc = PaperScenario(_scenario_config(args, BIDIRECTIONAL_TUNNEL))
     sc.converge()
     sc.move("S", "L6", at=40.0)
     sc.run_until(100.0)
@@ -223,7 +235,11 @@ def _table1(args: argparse.Namespace) -> None:
 
 
 def _compare(args: argparse.Namespace) -> None:
-    report = run_full_comparison(seed=args.seed)
+    report = run_full_comparison(
+        seed=args.seed,
+        traffic_model=getattr(args, "traffic_model", "packet"),
+        probe_interval=getattr(args, "probe_interval", None),
+    )
     if args.json:
         _print_json(
             {
@@ -278,8 +294,12 @@ def _report(args: argparse.Namespace) -> None:
 
 
 def _scaling(args: argparse.Namespace) -> None:
-    mobiles = run_ha_load_vs_mobiles(counts=(1, 2, 4, 8))
-    groups = run_ha_load_vs_groups(counts=(1, 2, 4))
+    traffic = dict(
+        traffic_model=getattr(args, "traffic_model", "packet"),
+        probe_interval=getattr(args, "probe_interval", None),
+    )
+    mobiles = run_ha_load_vs_mobiles(counts=(1, 2, 4, 8), **traffic)
+    groups = run_ha_load_vs_groups(counts=(1, 2, 4), **traffic)
     if args.json:
         _print_json(
             {"experiment": "scaling", "mobiles": mobiles, "groups": groups}
@@ -373,8 +393,15 @@ def _sweep(args: argparse.Namespace) -> None:
     }
     sections = []
 
+    traffic_model = getattr(args, "traffic_model", "packet")
+    probe_interval = getattr(args, "probe_interval", None)
     if args.grid == "compare":
-        report = run_full_comparison(seed=args.seed, runner=runner)
+        report = run_full_comparison(
+            seed=args.seed,
+            runner=runner,
+            traffic_model=traffic_model,
+            probe_interval=probe_interval,
+        )
         payload.update(
             {
                 "all_claims_hold": report.all_claims_hold,
@@ -412,17 +439,42 @@ def _sweep(args: argparse.Namespace) -> None:
             model=args.topo_model,
             seed=args.seed,
             duration=args.duration,
+            traffic_model=traffic_model,
+            probe_interval=probe_interval,
             runner=runner,
         )
         payload["report"] = report
         sections.append(render_scale_report(report))
+    elif args.grid == "fluid":
+        # EXP-S2 runs both engines itself; cells are sequential (the
+        # packet 10^4 cell dominates) so no campaign sharding here.
+        study = run_fluid_study(
+            sizes=_parse_scale_sizes("hier", args.sizes),
+            receivers=tuple(args.receivers),
+            seed=args.seed,
+            duration=args.duration,
+            mobility=args.mobility[0] if args.mobility else 0.0,
+            **(
+                {"probe_interval": probe_interval}
+                if probe_interval is not None
+                else {}
+            ),
+        )
+        payload["report"] = study
+        sections.append(render_fluid_report(study))
     else:  # scaling
         mobiles = run_ha_load_vs_mobiles(counts=(1, 2, 4, 8), seed=args.seed,
-                                         runner=runner)
+                                         runner=runner,
+                                         traffic_model=traffic_model,
+                                         probe_interval=probe_interval)
         groups = run_ha_load_vs_groups(counts=(1, 2, 4), seed=args.seed,
-                                       runner=runner)
+                                       runner=runner,
+                                       traffic_model=traffic_model,
+                                       probe_interval=probe_interval)
         rate = run_ha_load_vs_rate(packet_intervals=(0.2, 0.1, 0.05),
-                                   seed=args.seed, runner=runner)
+                                   seed=args.seed, runner=runner,
+                                   traffic_model=traffic_model,
+                                   probe_interval=probe_interval)
         payload.update({"mobiles": mobiles, "groups": groups, "rate": rate})
         sections.append(render_scaling(mobiles, "mobiles"))
         sections.append(render_scaling(groups, "groups"))
@@ -954,6 +1006,19 @@ def _add_invariants_flag(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_traffic_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--traffic-model", choices=("packet", "fluid"), default="packet",
+        help="traffic engine: per-packet events (exact, default) or "
+        "fluid rate integration with sparse probes (scales to "
+        "million-receiver runs; see docs/TRAFFIC.md)",
+    )
+    p.add_argument(
+        "--probe-interval", type=float, default=None, metavar="SECONDS",
+        help="fluid-mode probe cadence (default: 100 x packet interval)",
+    )
+
+
 def _add_supervisor_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-cell wall-clock budget; hung cells are killed "
@@ -990,6 +1055,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
         _add_invariants_flag(p)
+        if name != "table1":  # table1 runs no simulation
+            _add_traffic_flags(p)
     report = sub.add_parser("report", help="run everything, emit a Markdown report")
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", "-o", default=None)
@@ -999,9 +1066,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an experiment grid through the parallel campaign engine "
         "(sharding + result cache; see docs/CAMPAIGNS.md)",
     )
-    sweep.add_argument("grid", choices=("compare", "timers", "scaling", "scale"),
+    sweep.add_argument("grid",
+                       choices=("compare", "timers", "scaling", "scale",
+                                "fluid"),
                        nargs="?", default="compare",
-                       help="which experiment grid to run (default: compare)")
+                       help="which experiment grid to run (default: compare; "
+                       "'fluid' runs the EXP-S2 packet-vs-fluid study)")
     sweep.add_argument("--seed", type=int, default=0,
                        help="campaign master seed")
     sweep.add_argument("--jobs", type=int, default=1,
@@ -1034,6 +1104,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scale-grid mean handovers per receiver")
     sweep.add_argument("--duration", type=float, default=30.0,
                        help="scale-grid measurement window (sim seconds)")
+    _add_traffic_flags(sweep)
     _add_supervisor_flags(sweep)
     _add_invariants_flag(sweep)
     faults = sub.add_parser(
@@ -1219,6 +1290,11 @@ def main(argv=None) -> None:
         sys.exit(3)
     except CampaignError as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)
+        sys.exit(1)
+    except ValueError as exc:
+        # parameter validation raised below argparse (e.g. a fluid
+        # --probe-interval shorter than the packet interval)
+        print(f"error: {exc}", file=sys.stderr)
         sys.exit(1)
 
 

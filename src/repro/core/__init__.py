@@ -17,6 +17,12 @@ from .paper_topology import (
     PaperNetwork,
     build_paper_network,
 )
+from .fluidstudy import (
+    DEFAULT_PROBE_INTERVAL,
+    fluid_cell,
+    render_fluid_report,
+    run_fluid_study,
+)
 from .report import generate_report
 from .scalestudy import (
     DEFAULT_SIZES,
@@ -60,6 +66,7 @@ __all__ = [
     "Approach",
     "BIDIRECTIONAL_TUNNEL",
     "ComparisonReport",
+    "DEFAULT_PROBE_INTERVAL",
     "DEFAULT_SIZES",
     "HOST_HOMES",
     "LINK_PREFIXES",
@@ -76,16 +83,19 @@ __all__ = [
     "approach_for",
     "build_paper_network",
     "comparison_cells",
+    "fluid_cell",
     "generate_report",
     "ha_load_groups_cell",
     "ha_load_mobiles_cell",
     "ha_load_rate_cell",
     "per_hop_latency",
     "receiver_mobility_run",
+    "render_fluid_report",
     "render_scale_report",
     "render_scaling",
     "render_sweep",
     "render_table1",
+    "run_fluid_study",
     "run_full_comparison",
     "run_ha_load_vs_groups",
     "run_ha_load_vs_mobiles",

@@ -59,6 +59,8 @@ def _scenario(
     pim: Optional[PimDmConfig],
     mipv6: Optional[MobileIpv6Config],
     packet_interval: float,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> PaperScenario:
     mld_cfg = mld or MldConfig()
     if mld_cfg.unsolicited_reports_on_move != unsolicited:
@@ -73,6 +75,8 @@ def _scenario(
             pim=pim,
             mipv6=mipv6,
             packet_interval=packet_interval,
+            traffic_model=traffic_model,
+            probe_interval=probe_interval,
         )
     )
 
@@ -89,6 +93,8 @@ def receiver_mobility_run(
     pim: Optional[PimDmConfig] = None,
     mipv6: Optional[MobileIpv6Config] = None,
     packet_interval: float = 0.05,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     """One §4.3 receiver experiment: Receiver 3 moves to ``move_link``.
 
@@ -96,7 +102,10 @@ def receiver_mobility_run(
     bytes on the abandoned link, tunnel overhead, signaling bytes,
     routing stretch, home-agent load, duplicates).
     """
-    sc = _scenario(approach, seed, unsolicited, mld, pim, mipv6, packet_interval)
+    sc = _scenario(
+        approach, seed, unsolicited, mld, pim, mipv6, packet_interval,
+        traffic_model, probe_interval,
+    )
     sc.converge()
     before_move = sc.metrics.snapshot()
     sc.move("R3", move_link, at=move_at)
@@ -173,9 +182,14 @@ def sender_mobility_run(
     pim: Optional[PimDmConfig] = None,
     mipv6: Optional[MobileIpv6Config] = None,
     packet_interval: float = 0.05,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     """One §4.3 sender experiment: Sender S moves to ``move_link``."""
-    sc = _scenario(approach, seed, True, mld, pim, mipv6, packet_interval)
+    sc = _scenario(
+        approach, seed, True, mld, pim, mipv6, packet_interval,
+        traffic_model, probe_interval,
+    )
     sc.converge()
     before = sc.metrics.snapshot()
     sc.move("S", move_link, at=move_at)
@@ -307,14 +321,23 @@ def comparison_cells(
     approaches: Sequence[Approach] = tuple(ALL_APPROACHES),
     measure_leave: bool = True,
     mld: Optional[MldConfig] = None,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> List[CampaignCell]:
     """The §4.3 comparison matrix as a campaign grid.
 
     One ``comparison.receiver`` and one ``comparison.sender`` cell per
     approach, plus the three join-delay study cells — 11 cells with
-    the default four approaches.
+    the default four approaches.  Traffic-engine params are added to
+    the cells only when non-default, so packet-mode cache keys stay
+    byte-identical to pre-fluid releases.
     """
     mld_params = asdict(mld) if mld is not None else None
+    traffic_params: Dict[str, Any] = {}
+    if traffic_model != "packet":
+        traffic_params["traffic_model"] = traffic_model
+        if probe_interval is not None:
+            traffic_params["probe_interval"] = probe_interval
     cells = [
         CampaignCell(
             "comparison.receiver",
@@ -323,6 +346,7 @@ def comparison_cells(
                 "seed": seed,
                 "measure_leave": measure_leave,
                 "mld": mld_params,
+                **traffic_params,
             },
         )
         for approach in approaches
@@ -330,7 +354,12 @@ def comparison_cells(
     cells += [
         CampaignCell(
             "comparison.sender",
-            {"approach": approach.key, "seed": seed, "mld": mld_params},
+            {
+                "approach": approach.key,
+                "seed": seed,
+                "mld": mld_params,
+                **traffic_params,
+            },
         )
         for approach in approaches
     ]
@@ -343,6 +372,7 @@ def comparison_cells(
                 "unsolicited": unsol,
                 "measure_leave": False,
                 "mld": mld_params,
+                **traffic_params,
             },
         )
         for approach, unsol in _JOIN_STUDY
@@ -358,6 +388,8 @@ def run_full_comparison(
     runner: Optional[CampaignRunner] = None,
     jobs: int = 1,
     cache_dir=None,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> ComparisonReport:
     """Run the complete §4.3 comparison and evaluate the paper's claims.
 
@@ -371,7 +403,14 @@ def run_full_comparison(
     if runner is None:
         runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir, master_seed=seed)
     rows = runner.run(
-        comparison_cells(seed, approaches, measure_leave, mld)
+        comparison_cells(
+            seed,
+            approaches,
+            measure_leave,
+            mld,
+            traffic_model=traffic_model,
+            probe_interval=probe_interval,
+        )
     ).require_success().results()
 
     n = len(list(approaches))

@@ -71,13 +71,18 @@ class ScenarioMetrics:
     scan over the whole event list.
     """
 
-    def __init__(self, net: Network) -> None:
+    def __init__(self, net: Network, traffic=None) -> None:
         self.net = net
+        #: optional :class:`repro.traffic.TrafficModel` — fluid mode
+        #: integrates analytically, so stats reads must sync first
+        self.traffic = traffic
 
     # ------------------------------------------------------------------
     # snapshots
     # ------------------------------------------------------------------
     def snapshot(self) -> StatsSnapshot:
+        if self.traffic is not None:
+            self.traffic.sync()
         return StatsSnapshot(time=self.net.now, data=self.net.stats.snapshot())
 
     # ------------------------------------------------------------------

@@ -61,17 +61,21 @@ def scale_cell(
     duration: float = 30.0,
     packet_interval: float = 1.0,
     check_invariants: Optional[bool] = None,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     """One scaling-study cell: generate, populate, run, measure.
 
     ``mobility`` is mean handovers per receiver over the measurement
     window.  Every reported value is a pure function of the parameters
     (no wall-clock fields), preserving the campaign determinism and
-    cache contracts.
+    cache contracts.  ``traffic_model="fluid"`` swaps the per-packet
+    CBR flows for analytic rate integration (``repro.traffic.fluid``)
+    and adds a ``traffic`` block to the result.
     """
     from ..invariants import InvariantMonitor, checking_enabled
     from ..net.topogen import build_network, topo_graph
-    from ..workloads import CbrSource
+    from ..traffic import make_traffic_model
 
     spec = {"model": model, **(model_params or {})}
     graph = topo_graph(spec)
@@ -90,6 +94,8 @@ def scale_cell(
         for g in range(groups)
     ]
     population = built.place_receivers(receivers)
+    traffic = make_traffic_model(traffic_model, probe_interval=probe_interval)
+    traffic.attach(net)
     net.start()
     for g, group in enumerate(group_addrs):
         built.schedule_joins(
@@ -99,7 +105,7 @@ def scale_cell(
             spread=max(warmup - 2.0, 1.0),
             stream=f"topogen.joins.g{g}",
         )
-        CbrSource(
+        traffic.add_cbr(
             sources[g],
             group,
             packet_interval=packet_interval,
@@ -112,6 +118,7 @@ def scale_cell(
     # tree, not whatever teardown/expiry leaves at the end
     net.sim.schedule_at(warmup + duration / 2, net.collect_state)
     net.run(until=warmup + duration)
+    traffic.finish()
     net.collect_state()
     if monitor is not None:
         monitor.check()
@@ -121,7 +128,7 @@ def scale_cell(
         if snap["bytes"]["compact"]
         else 1.0
     )
-    return {
+    result: Dict[str, Any] = {
         "model": model,
         "model_params": dict(model_params or {}),
         "routers": len(graph.routers),
@@ -142,6 +149,12 @@ def scale_cell(
         "control_bytes": net.stats.signaling_bytes(),
         "mcast_packets": net.stats.total_packets("mcast_data"),
     }
+    if traffic_model != "packet":
+        # keep packet-mode cell payloads byte-identical (cache contract)
+        result["traffic"] = traffic.describe()
+        result["mcast_packets"] = round(result["mcast_packets"], 3)
+        result["mcast_bytes"] = round(net.stats.total_bytes("mcast_data"), 3)
+    return result
 
 
 def scale_grid(
@@ -155,6 +168,8 @@ def scale_grid(
     warmup: float = 10.0,
     packet_interval: float = 1.0,
     check_invariants: Optional[bool] = None,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> CampaignGrid:
     """The EXP-S1 grid: topology sizes × receiver populations × group
     counts × mobility rates."""
@@ -167,6 +182,11 @@ def scale_grid(
     }
     if check_invariants is not None:
         base["check_invariants"] = check_invariants
+    # non-default only: packet-mode cache keys stay byte-identical
+    if traffic_model != "packet":
+        base["traffic_model"] = traffic_model
+        if probe_interval is not None:
+            base["probe_interval"] = probe_interval
     return CampaignGrid(
         "scale.cell",
         axes={
@@ -191,6 +211,8 @@ def run_scale_sweep(
     warmup: float = 10.0,
     packet_interval: float = 1.0,
     check_invariants: Optional[bool] = None,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
     runner: Optional[CampaignRunner] = None,
     jobs: int = 1,
     cache_dir=None,
@@ -213,6 +235,8 @@ def run_scale_sweep(
         warmup=warmup,
         packet_interval=packet_interval,
         check_invariants=check_invariants,
+        traffic_model=traffic_model,
+        probe_interval=probe_interval,
     )
     if runner is None:
         runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir, master_seed=seed)

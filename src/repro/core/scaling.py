@@ -25,7 +25,6 @@ from ..analysis.tables import fmt_bytes, render_table
 from ..campaign import CampaignGrid, CampaignRunner
 from ..mipv6 import DeliveryMode
 from ..net import Address, make_multicast_group
-from ..workloads import CbrSource
 from .scenario import PaperScenario, ScenarioConfig
 from .strategies import BIDIRECTIONAL_TUNNEL
 
@@ -53,10 +52,21 @@ def _run_grid(
 
 
 def ha_load_mobiles_cell(
-    mobiles: int, seed: int = 0, measure_window: float = 30.0
+    mobiles: int,
+    seed: int = 0,
+    measure_window: float = 30.0,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     """One sweep point: N tunnel-mode mobiles homed on Link 4, away on Link 6."""
-    sc = PaperScenario(ScenarioConfig(seed=seed, approach=BIDIRECTIONAL_TUNNEL))
+    sc = PaperScenario(
+        ScenarioConfig(
+            seed=seed,
+            approach=BIDIRECTIONAL_TUNNEL,
+            traffic_model=traffic_model,
+            probe_interval=probe_interval,
+        )
+    )
     extras = [
         sc.paper.add_mobile_host(
             f"M{k}", "L4", host_id=110 + k,
@@ -87,6 +97,19 @@ def ha_load_mobiles_cell(
     }
 
 
+def _traffic_base(
+    traffic_model: str, probe_interval: Optional[float]
+) -> Dict[str, Any]:
+    """Traffic-engine cell params, empty in packet mode so packet-mode
+    cache keys stay byte-identical to pre-fluid releases."""
+    if traffic_model == "packet":
+        return {}
+    out: Dict[str, Any] = {"traffic_model": traffic_model}
+    if probe_interval is not None:
+        out["probe_interval"] = probe_interval
+    return out
+
+
 def run_ha_load_vs_mobiles(
     counts: Sequence[int] = (1, 2, 4, 8),
     seed: int = 0,
@@ -94,12 +117,18 @@ def run_ha_load_vs_mobiles(
     runner: Optional[CampaignRunner] = None,
     jobs: int = 1,
     cache_dir=None,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> List[Dict[str, Any]]:
     """HA encapsulation load vs. number of mobile hosts it serves."""
     grid = CampaignGrid(
         "scaling.mobiles",
         axes={"mobiles": list(counts)},
-        base={"seed": seed, "measure_window": measure_window},
+        base={
+            "seed": seed,
+            "measure_window": measure_window,
+            **_traffic_base(traffic_model, probe_interval),
+        },
         name="ha-load-vs-mobiles",
     )
     return _run_grid(grid, runner, jobs, cache_dir, seed)
@@ -110,18 +139,24 @@ def ha_load_groups_cell(
     seed: int = 0,
     measure_window: float = 30.0,
     packet_interval: float = 0.1,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     """One sweep point: a mobile subscribed to N groups, each with CBR."""
     sc = PaperScenario(
         ScenarioConfig(
             seed=seed, approach=BIDIRECTIONAL_TUNNEL,
             packet_interval=packet_interval,
+            traffic_model=traffic_model,
+            probe_interval=probe_interval,
         )
     )
     group_addrs = [make_multicast_group(10 + k) for k in range(groups)]
+    # extra flows go through the scenario's traffic engine so fluid
+    # mode integrates them too (packet mode builds identical sources)
     sources = [
-        CbrSource(sc.paper.sender, g, packet_interval=packet_interval,
-                  flow=f"flow-{k}")
+        sc.traffic.add_cbr(sc.paper.sender, g,
+                           packet_interval=packet_interval, flow=f"flow-{k}")
         for k, g in enumerate(group_addrs)
     ]
     mobile = sc.paper.add_mobile_host(
@@ -154,6 +189,8 @@ def run_ha_load_vs_groups(
     runner: Optional[CampaignRunner] = None,
     jobs: int = 1,
     cache_dir=None,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> List[Dict[str, Any]]:
     """HA encapsulation load vs. number of subscribed groups."""
     grid = CampaignGrid(
@@ -163,6 +200,7 @@ def run_ha_load_vs_groups(
             "seed": seed,
             "measure_window": measure_window,
             "packet_interval": packet_interval,
+            **_traffic_base(traffic_model, probe_interval),
         },
         name="ha-load-vs-groups",
     )
@@ -170,12 +208,19 @@ def run_ha_load_vs_groups(
 
 
 def ha_load_rate_cell(
-    packet_interval: float, seed: int = 0, measure_window: float = 30.0
+    packet_interval: float,
+    seed: int = 0,
+    measure_window: float = 30.0,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> Dict[str, Any]:
     """One sweep point: one tunnel-mode mobile at the given source rate."""
     sc = PaperScenario(
         ScenarioConfig(
-            seed=seed, approach=BIDIRECTIONAL_TUNNEL, packet_interval=packet_interval
+            seed=seed, approach=BIDIRECTIONAL_TUNNEL,
+            packet_interval=packet_interval,
+            traffic_model=traffic_model,
+            probe_interval=probe_interval,
         )
     )
     sc.converge()
@@ -198,12 +243,18 @@ def run_ha_load_vs_rate(
     runner: Optional[CampaignRunner] = None,
     jobs: int = 1,
     cache_dir=None,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
 ) -> List[Dict[str, Any]]:
     """HA encapsulation load vs. source traffic rate."""
     grid = CampaignGrid(
         "scaling.rate",
         axes={"packet_interval": list(packet_intervals)},
-        base={"seed": seed, "measure_window": measure_window},
+        base={
+            "seed": seed,
+            "measure_window": measure_window,
+            **_traffic_base(traffic_model, probe_interval),
+        },
         name="ha-load-vs-rate",
     )
     return _run_grid(grid, runner, jobs, cache_dir, seed)

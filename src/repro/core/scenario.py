@@ -25,7 +25,8 @@ from ..mipv6 import MobileIpv6Config
 from ..mld import MldConfig
 from ..net import Address
 from ..pimdm import PimDmConfig
-from ..workloads import CbrSource, ReceiverApp
+from ..traffic import make_traffic_model
+from ..workloads import ReceiverApp
 from .metrics import ScenarioMetrics
 from .paper_topology import PaperNetwork, build_paper_network
 from .strategies import LOCAL_MEMBERSHIP, Approach
@@ -45,6 +46,12 @@ class ScenarioConfig:
     #: CBR source parameters (20 pkt/s of 1000-byte payloads ≈ 160 kbit/s).
     packet_interval: float = 0.05
     payload_bytes: int = 1000
+    #: traffic engine: "packet" (exact, per-datagram events — the
+    #: default) or "fluid" (analytic rate integration between protocol
+    #: events, sparse probes; see ``repro.traffic`` / docs/TRAFFIC.md).
+    traffic_model: str = "packet"
+    #: fluid-mode probe cadence; None means 100 x packet_interval.
+    probe_interval: Optional[float] = None
     join_time: float = 1.0
     traffic_start: float = 20.0
     converge_until: float = 30.0
@@ -94,11 +101,15 @@ class PaperScenario:
         )
         self.net = self.paper.net
         self.group: Address = self.paper.group
-        self.metrics = ScenarioMetrics(self.net)
+        self.traffic = make_traffic_model(
+            cfg.traffic_model, probe_interval=cfg.probe_interval
+        )
+        self.traffic.attach(self.net)
+        self.metrics = ScenarioMetrics(self.net, traffic=self.traffic)
         self.apps: Dict[str, ReceiverApp] = {
             name: ReceiverApp(self.paper.hosts[name]) for name in ("R1", "R2", "R3")
         }
-        self.source = CbrSource(
+        self.source = self.traffic.add_cbr(
             self.paper.sender,
             self.group,
             packet_interval=cfg.packet_interval,
@@ -151,6 +162,7 @@ class PaperScenario:
         its run.  Spans close at the last *event* time (not ``now``) so
         the live tree equals an offline replay of the same trace.
         """
+        self.traffic.finish()
         if self.spans is not None:
             self.spans.finish()
         if self.invariants is not None:

@@ -69,6 +69,10 @@ class Link:
         #: Reports, Binding Update retransmission — exists for exactly
         #: this).  ``None`` means lossless.
         self._loss_model = None
+        #: observers notified when administrative state or the loss
+        #: model changes (the fluid traffic model re-integrates rates
+        #: on such boundaries); see :meth:`add_on_change`
+        self._on_change: List[object] = []
         self.loss_rate = loss_rate
         self.frames_lost = 0
         #: administrative state: a down link drops every frame
@@ -93,9 +97,11 @@ class Link:
             raise ValueError("loss_rate must be in [0, 1)")
         if rate == 0.0:
             self._loss_model = None
+            self._notify_change()
             return
         self._require_loss_rng()
         self._loss_model = BernoulliLoss(rate)
+        self._notify_change()
 
     @property
     def loss_model(self):
@@ -106,6 +112,16 @@ class Link:
         if model is not None:
             self._require_loss_rng()
         self._loss_model = model
+        self._notify_change()
+
+    def add_on_change(self, observer) -> None:
+        """Register a callable ``observer(link)`` invoked after every
+        administrative up/down flip or loss-model change."""
+        self._on_change.append(observer)
+
+    def _notify_change(self) -> None:
+        for observer in self._on_change:
+            observer(self)
 
     def _require_loss_rng(self) -> None:
         """Create the loss stream lazily — deterministically named, so a
@@ -122,9 +138,11 @@ class Link:
 
     def set_down(self) -> None:
         self.up = False
+        self._notify_change()
 
     def set_up(self) -> None:
         self.up = True
+        self._notify_change()
 
     def _drop(self, reason: str, **detail) -> None:
         if self.stats is not None:

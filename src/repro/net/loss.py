@@ -19,6 +19,13 @@ Every model consumes draws from the link's dedicated RNG stream
 independent across links.  :class:`BernoulliLoss` draws exactly once
 per frame — the draw sequence of the seed implementation is preserved
 bit-for-bit.
+
+Under the fluid traffic model (``repro.traffic.fluid``) loss models act
+as *rate multipliers*: a link forwards ``rate x (1 - mean_loss)``.
+For :class:`GilbertElliottLoss` that is expected-throughput
+integration — the stationary mixture ``(1-π_b)·loss_good +
+π_b·loss_bad`` — i.e. burst structure averages out over the
+integration window, which is what the §4.3 byte aggregates measure.
 """
 
 from __future__ import annotations

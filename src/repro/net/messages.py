@@ -48,6 +48,11 @@ class ApplicationData(Message):
     #: simulation time the datagram was handed to the network (stamped by
     #: traffic sources; lets receivers measure end-to-end latency).
     sent_at: float = 0.0
+    #: fluid-mode probe datagram: real on the wire (keeps PIM-DM's
+    #: data-driven state machinery alive) but charged to the separate
+    #: ``fluid_probe`` stats category so the analytic byte accounting is
+    #: exact (``repro.traffic.fluid``).
+    probe: bool = False
 
     protocol = "app"
 

@@ -32,6 +32,7 @@ __all__ = [
     "LinkStats",
     "NetworkStats",
     "CATEGORIES",
+    "FLUID_PROBE_CATEGORY",
     "STATE_BYTE_COSTS",
     "STATE_KINDS",
 ]
@@ -45,6 +46,12 @@ CATEGORIES = (
     "mipv6",
     "tunnel_overhead",
 )
+
+#: Fluid-mode probe datagrams are real transmissions but their bytes
+#: belong to the analytic accounting, so they are diverted to this
+#: category (outside ``CATEGORIES``) instead of ``mcast_data`` /
+#: ``tunnel_overhead``.  See ``repro.traffic.fluid``.
+FLUID_PROBE_CATEGORY = "fluid_probe"
 
 
 #: Protocol-state entry kinds aggregated per topology.
@@ -109,6 +116,8 @@ def classify_packet(packet: Ipv6Packet) -> str:
     message = packet.innermost_message()
     proto = message.protocol
     if proto == "app":
+        if getattr(message, "probe", False):
+            return FLUID_PROBE_CATEGORY
         return "mcast_data" if packet.inner.dst.is_multicast else "unicast_data"
     return proto
 
@@ -133,12 +142,25 @@ class LinkStats:
     def account(self, packet: Ipv6Packet) -> str:
         """Charge one transmission; returns the category used."""
         category = classify_packet(packet)
+        if category == FLUID_PROBE_CATEGORY:
+            # Probe datagrams carry their whole wire size (tunnel
+            # headers included) in the probe bucket: the analytic fluid
+            # charges must stay exactly rate x dt per data category.
+            self.bytes_by_category[category] += packet.size_bytes
+            self.packets_by_category[category] += 1
+            return category
         overhead = packet.overhead_bytes
         self.bytes_by_category[category] += packet.size_bytes - overhead
         self.packets_by_category[category] += 1
         if overhead:
             self.bytes_by_category["tunnel_overhead"] += overhead
         return category
+
+    def account_rate(self, category: str, nbytes: float, npackets: float) -> None:
+        """Charge analytically integrated traffic (fluid model)."""
+        self.bytes_by_category[category] += nbytes
+        if npackets:
+            self.packets_by_category[category] += npackets
 
     def bytes(self, category: Optional[str] = None) -> int:
         if category is None:
@@ -208,6 +230,17 @@ class NetworkStats:
 
     def account_drop(self, link_name: str, reason: str) -> None:
         self.stats_for(link_name).record_drop(reason)
+
+    def account_fluid(
+        self, link_name: str, category: str, nbytes: float, npackets: float = 0.0
+    ) -> None:
+        """Charge analytically integrated bytes/packets to a link.
+
+        Used by :class:`repro.traffic.fluid.FluidModel`; counters become
+        floats, which every reader (snapshots, deltas, JSON export)
+        already tolerates.
+        """
+        self.stats_for(link_name).account_rate(category, nbytes, npackets)
 
     # ------------------------------------------------------------------
     def link_bytes(self, link_name: str, category: Optional[str] = None) -> int:

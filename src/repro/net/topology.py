@@ -35,6 +35,12 @@ class Network:
         trace_link_events: bool = False,
     ) -> None:
         reset_packet_uids()
+        # Runtime import: repro.traffic sits above the net layer (its
+        # sources route through mipv6/node APIs), so the flow-name
+        # counter reset cannot be a module-level dependency here.
+        from ..traffic.sources import reset_flow_counter
+
+        reset_flow_counter()
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
         disabled = () if trace_link_events else ("link",)

@@ -1,0 +1,57 @@
+"""Per-packet traffic model (the historical, exact mode).
+
+A thin adapter over :class:`~repro.traffic.sources.CbrSource` /
+:class:`~repro.traffic.sources.OnOffSource`: every datagram is a real
+simulator event through ``Link.transmit``, so ``attach``/``sync`` are
+no-ops and the sources constructed here are byte-identical to the
+pre-refactor behaviour (golden traces unchanged).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import TrafficModel, register_traffic_model
+from .sources import CbrSource, OnOffSource
+
+__all__ = ["PacketModel"]
+
+
+@register_traffic_model("packet")
+class PacketModel(TrafficModel):
+    name = "packet"
+
+    def __init__(self, **_ignored) -> None:
+        self.net = None
+        self.sources = []
+
+    def attach(self, net) -> None:
+        self.net = net
+
+    def add_cbr(
+        self,
+        node,
+        group,
+        packet_interval: float = 0.1,
+        payload_bytes: int = 1000,
+        flow: Optional[str] = None,
+    ) -> CbrSource:
+        src = CbrSource(node, group, packet_interval, payload_bytes, flow)
+        self.sources.append(src)
+        return src
+
+    def add_onoff(
+        self,
+        node,
+        group,
+        packet_interval: float = 0.1,
+        payload_bytes: int = 1000,
+        mean_on: float = 10.0,
+        mean_off: float = 10.0,
+        flow: Optional[str] = None,
+    ) -> OnOffSource:
+        src = OnOffSource(
+            node, group, packet_interval, payload_bytes, mean_on, mean_off, flow
+        )
+        self.sources.append(src)
+        return src

@@ -1,0 +1,182 @@
+"""Multicast traffic generators.
+
+The paper's bandwidth analysis scales with "the bit rate of the sender"
+(§4.3.1); :class:`CbrSource` provides a constant-bit-rate multicast
+flow, :class:`OnOffSource` a bursty one.  Both work with plain hosts
+and mobile nodes (a mobile node routes the datagram through whichever
+sending mode — local or home-agent tunnel — is active, and datagrams
+generated while between links are counted as handoff losses).
+
+Flow names are auto-assigned from a per-process counter that
+:class:`~repro.net.topology.Network` resets on construction (mirroring
+``reset_packet_uids``), so flow names never depend on how many
+scenarios ran earlier in the same process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Union
+
+from ..mipv6.mobile_node import MobileNode
+from ..net.addressing import Address
+from ..net.messages import ApplicationData
+from ..net.node import Host
+from ..sim import Event
+
+__all__ = ["CbrSource", "OnOffSource", "reset_flow_counter"]
+
+_flow_counter = itertools.count(1)
+
+
+def reset_flow_counter() -> None:
+    """Restart auto-assigned flow names at ``-flow1``.
+
+    Called by ``Network.__init__`` so flow naming is deterministic per
+    scenario regardless of process history.
+    """
+    global _flow_counter
+    _flow_counter = itertools.count(1)
+
+
+class CbrSource:
+    """Constant-bit-rate multicast source.
+
+    >>> # src = CbrSource(host, group, packet_interval=0.1)  # 10 pkt/s
+    """
+
+    def __init__(
+        self,
+        node: Union[Host, MobileNode],
+        group: Address,
+        packet_interval: float = 0.1,
+        payload_bytes: int = 1000,
+        flow: Optional[str] = None,
+    ) -> None:
+        if packet_interval <= 0:
+            raise ValueError("packet_interval must be positive")
+        if payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        self.node = node
+        self.group = Address(group)
+        self.packet_interval = packet_interval
+        self.payload_bytes = payload_bytes
+        self.flow = flow or f"{node.name}-flow{next(_flow_counter)}"
+        self.sent = 0
+        self._running = False
+        self._event: Optional[Event] = None
+
+    @property
+    def bit_rate(self) -> float:
+        """Application-layer bit rate in bit/s."""
+        return self.payload_bytes * 8 / self.packet_interval
+
+    @property
+    def mean_bit_rate(self) -> float:
+        """Long-run average bit rate in bit/s (equals :attr:`bit_rate`
+        for an always-on CBR source)."""
+        return self.bit_rate
+
+    def start(self, at: Optional[float] = None) -> None:
+        """Begin transmission now (or at an absolute time)."""
+        if at is None or at <= self.node.sim.now:
+            self._begin()
+        else:
+            self.node.sim.schedule_at(at, self._begin, label=f"{self.flow}.start")
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _begin(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._send_one()
+        self._event = self.node.sim.schedule(
+            self.packet_interval, self._tick, label=f"{self.flow}.tick"
+        )
+
+    def _send_one(self) -> None:
+        message = ApplicationData(
+            seqno=self.sent,
+            payload_bytes=self.payload_bytes,
+            flow=self.flow,
+            sent_at=self.node.sim.now,
+        )
+        self.sent += 1
+        if isinstance(self.node, MobileNode):
+            self.node.send_app_multicast(self.group, message)
+        else:
+            self.node.send_multicast(self.group, message)
+
+
+class OnOffSource(CbrSource):
+    """CBR source with exponentially distributed ON/OFF phases."""
+
+    def __init__(
+        self,
+        node: Union[Host, MobileNode],
+        group: Address,
+        packet_interval: float = 0.1,
+        payload_bytes: int = 1000,
+        mean_on: float = 10.0,
+        mean_off: float = 10.0,
+        flow: Optional[str] = None,
+    ) -> None:
+        super().__init__(node, group, packet_interval, payload_bytes, flow)
+        if mean_on <= 0 or mean_off <= 0:
+            raise ValueError("mean_on/mean_off must be positive")
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self._rng = node.rng.stream(f"onoff.{self.flow}")
+        self._on_phase = True
+
+    @property
+    def duty_cycle(self) -> float:
+        """Long-run fraction of time spent in the ON phase."""
+        return self.mean_on / (self.mean_on + self.mean_off)
+
+    @property
+    def mean_bit_rate(self) -> float:
+        """Long-run average bit rate in bit/s: the peak CBR rate scaled
+        by the ON/OFF duty cycle."""
+        return self.bit_rate * self.duty_cycle
+
+    def _begin(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._on_phase = True
+        self._schedule_phase_end()
+        self._tick()
+
+    def _schedule_phase_end(self) -> None:
+        mean = self.mean_on if self._on_phase else self.mean_off
+        self.node.sim.schedule(
+            self._rng.expovariate(1.0 / mean),
+            self._toggle_phase,
+            label=f"{self.flow}.phase",
+        )
+
+    def _toggle_phase(self) -> None:
+        if not self._running:
+            return
+        self._on_phase = not self._on_phase
+        self._schedule_phase_end()
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if self._on_phase:
+            self._send_one()
+        self._event = self.node.sim.schedule(
+            self.packet_interval, self._tick, label=f"{self.flow}.tick"
+        )

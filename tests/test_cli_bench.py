@@ -39,8 +39,10 @@ class TestBenchReport:
         assert payload["quick"] is True
         for key in ("python", "implementation", "platform", "cpu_count"):
             assert key in payload["env"]
-        # quick mode: kernel + scenario phases, campaign skipped
-        assert set(payload["phases"]) == {"dispatch", "timer_restart", "scenario"}
+        # quick mode: kernel + scenario + fluid phases, campaign skipped
+        assert set(payload["phases"]) == {
+            "dispatch", "timer_restart", "scenario", "traffic_fluid"
+        }
         for phase in payload["phases"].values():
             assert phase["events"] > 0
             assert phase["wall_time_s"] > 0
@@ -85,7 +87,7 @@ class TestRegressionGate:
             if phase.get("events_per_sec"):
                 phase["events_per_sec"] *= 10.0
         failures = check_regression(quick_payload, inflated, tolerance=0.2)
-        assert len(failures) == 3
+        assert len(failures) == len(quick_payload["phases"])
         assert all("below the baseline" in f for f in failures)
 
     def test_new_phases_dont_break_old_baselines(self, quick_payload):

@@ -1,0 +1,192 @@
+"""Packet-vs-fluid equivalence on the paper's §4.3 experiments.
+
+The fluid engine is only useful if it reproduces the packet-mode
+figures; these tests pin the tolerance contract of docs/TRAFFIC.md —
+byte/load aggregates within 2 % (boundary quantization: the packet
+engine rounds every tree change to whole datagrams, the fluid engine
+integrates through it), discrete protocol counts exactly equal.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ALL_APPROACHES,
+    BIDIRECTIONAL_TUNNEL,
+    PaperScenario,
+    ScenarioConfig,
+    receiver_mobility_run,
+    sender_mobility_run,
+)
+
+#: docs/TRAFFIC.md tolerance: relative error on §4.3 byte/load metrics.
+REL_TOL = 0.02
+#: absolute floor — one max-size datagram (1000 B payload + 40 B header)
+#: per tree boundary, a handful of boundaries per run.
+ABS_BYTES = 5 * 1040
+
+
+def _close(fluid, packet, rel=REL_TOL, abs_tol=ABS_BYTES):
+    if packet is None or fluid is None:
+        return packet is None and fluid is None
+    return fluid == pytest.approx(packet, rel=rel, abs=abs_tol)
+
+
+# one packet+fluid pair per (experiment, approach), shared by the
+# assertions below — the runs are deterministic per seed
+_memo = {}
+
+
+def _pair(fn, approach):
+    key = (fn.__name__, approach.key)
+    if key not in _memo:
+        _memo[key] = (fn(approach), fn(approach, traffic_model="fluid"))
+    return _memo[key]
+
+
+@pytest.mark.parametrize(
+    "approach", ALL_APPROACHES, ids=[a.key for a in ALL_APPROACHES]
+)
+class TestReceiverEquivalence:
+    """Figures 2/3 (R3 moves off-tree) per delivery approach."""
+
+    @pytest.fixture
+    def rows(self, approach):
+        return _pair(receiver_mobility_run, approach)
+
+    def test_bandwidth_metrics(self, rows):
+        packet, fluid = rows
+        assert _close(fluid["wasted_bytes_old_link"], packet["wasted_bytes_old_link"])
+        assert _close(fluid["tunnel_overhead"], packet["tunnel_overhead"])
+
+    def test_load_metrics(self, rows):
+        packet, fluid = rows
+        assert _close(
+            fluid["ha_encapsulations"], packet["ha_encapsulations"], abs_tol=25
+        )
+        assert _close(
+            fluid["mn_decapsulations"], packet["mn_decapsulations"], abs_tol=25
+        )
+        assert fluid["ha_groups_on_behalf"] == packet["ha_groups_on_behalf"]
+
+    def test_leave_delay_identical(self, rows):
+        """Leave detection is pure control plane (MLD timers) — the
+        traffic engine must not perturb it."""
+        packet, fluid = rows
+        assert _close(fluid["leave_delay"], packet["leave_delay"], rel=0.05, abs_tol=1.0)
+
+
+@pytest.mark.parametrize(
+    "approach", ALL_APPROACHES, ids=[a.key for a in ALL_APPROACHES]
+)
+class TestSenderEquivalence:
+    """Figure 4 (S moves off-tree) per delivery approach."""
+
+    @pytest.fixture
+    def rows(self, approach):
+        return _pair(sender_mobility_run, approach)
+
+    def test_tree_state_counts_exact(self, rows):
+        packet, fluid = rows
+        assert fluid["new_sg_entries"] == packet["new_sg_entries"]
+        assert fluid["flood_links"] == packet["flood_links"]
+
+    def test_bandwidth_and_load(self, rows):
+        packet, fluid = rows
+        assert _close(fluid["tunnel_overhead"], packet["tunnel_overhead"])
+        assert _close(
+            fluid["reverse_tunneled"], packet["reverse_tunneled"], abs_tol=25
+        )
+        assert _close(
+            fluid["mn_encapsulations"], packet["mn_encapsulations"], abs_tol=25
+        )
+
+
+# ----------------------------------------------------------------------
+# property tests: random join/move/fault schedules
+# ----------------------------------------------------------------------
+
+WIRE = 1040  # 1000 B payload + 40 B IPv6 header
+
+
+def _spread(times, min_gap=5.0):
+    """Sorted move times, at least ``min_gap`` apart."""
+    out = []
+    for t in sorted(times):
+        if not out or t - out[-1] >= min_gap:
+            out.append(t)
+    return out
+
+
+def _total_data_bytes(sc):
+    snap = sc.metrics.snapshot()
+    return snap.total("mcast_data") + snap.total("tunnel_overhead")
+
+
+class TestRandomSchedules:
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    @given(
+        packet_interval=st.sampled_from((0.02, 0.05, 0.1, 0.2)),
+        payload=st.integers(min_value=100, max_value=1400),
+        window=st.floats(min_value=1.0, max_value=15.0),
+    )
+    def test_fluid_bytes_equal_closed_form_integral(
+        self, packet_interval, payload, window
+    ):
+        """On a static tree the fluid charge over any window is exactly
+        the closed-form integral rate x dt, for arbitrary flow params."""
+        sc = PaperScenario(
+            ScenarioConfig(
+                traffic_model="fluid",
+                packet_interval=packet_interval,
+                payload_bytes=payload,
+            )
+        )
+        sc.converge()
+        before = sc.metrics.snapshot()
+        sc.run_for(window)
+        delta = sc.metrics.snapshot().delta(before)
+        rate = (payload + 40) / packet_interval
+        assert delta.bytes_on("L1", "mcast_data") == pytest.approx(
+            rate * window, rel=1e-6
+        )
+        sc.finish()
+
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    @given(
+        join_time=st.floats(min_value=0.5, max_value=5.0),
+        move_times=st.lists(
+            st.floats(min_value=35.0, max_value=85.0), max_size=3
+        ),
+        move_links=st.lists(
+            st.sampled_from(("L1", "L2", "L4", "L6")), min_size=3, max_size=3
+        ),
+        loss=st.one_of(st.none(), st.floats(min_value=0.02, max_value=0.2)),
+    )
+    def test_random_schedule_matches_packet_mode(
+        self, join_time, move_times, move_links, loss
+    ):
+        """Random joins + R3 moves + a Bernoulli link fault: total data
+        bytes agree between the engines within the tolerance contract."""
+        totals = {}
+        for model in ("packet", "fluid"):
+            sc = PaperScenario(
+                ScenarioConfig(traffic_model=model, join_time=join_time)
+            )
+            sc.converge()
+            for when, link in zip(_spread(move_times), move_links):
+                sc.move("R3", link, at=when)
+            if loss is not None:
+                sc.net.sim.schedule_at(
+                    50.0,
+                    lambda sc=sc, loss=loss: setattr(
+                        sc.paper.link("L2"), "loss_rate", loss
+                    ),
+                    label="fault.loss",
+                )
+            sc.run_until(110.0)
+            totals[model] = _total_data_bytes(sc)
+            sc.finish()
+        assert totals["fluid"] == pytest.approx(
+            totals["packet"], rel=0.03, abs=10 * WIRE
+        )
