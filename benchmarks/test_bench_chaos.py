@@ -1,0 +1,93 @@
+"""EXP-R3 regression gate — the pinned seeded chaos suite.
+
+Runs the 50-cell nemesis matrix (5 archetypes x 2 topologies x 5
+seeds, intensity 0.6) through the campaign engine with the
+convergence oracle armed, and gates the PR's robustness claim: every
+cell converges — after the last heal plus the settle window, every
+router's live (S,G) state matches the recomputed reference for the
+healed topology with zero residual divergence.
+
+Also gates graceful degradation: delivery survival (delivered /
+expected at the offered rate, faults included) never falls below the
+committed floor for any archetype.
+
+Calibration (reference machine): ~35 s for the 50 cells; convergence
+times p90 well inside the 20 s settle window.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.chaos import run_chaos_sweep
+
+from bench_utils import RESULTS_DIR, once, save_report
+
+TOPOS = [
+    {"model": "hier", "depth": 2, "fanout": 5},
+    {"model": "waxman", "n": 24, "seed": 7},
+]
+SEEDS = (0, 1, 2, 3, 4)
+INTENSITY = 0.6
+#: every archetype must keep mean delivery survival above this floor
+SURVIVAL_FLOOR = 0.75
+
+
+def run():
+    return [
+        run_chaos_sweep(
+            topos=TOPOS, intensities=(INTENSITY,), receivers=12, seed=seed
+        )
+        for seed in SEEDS
+    ]
+
+
+def test_bench_chaos_suite(benchmark):
+    reports = once(benchmark, run)
+    rows = [row for report in reports for row in report["rows"]]
+    assert len(rows) == 50
+
+    # the convergence gate: 100% of cells, zero residual divergence
+    stuck = [
+        (r["topo"]["model"], r["archetype"], r["seed"], r["divergence_rules"])
+        for r in rows
+        if not r["converged"] or r["divergences"]
+    ]
+    assert not stuck, f"non-converged chaos cells: {stuck}"
+
+    # every convergence time is defined and inside the settle window
+    assert all(r["convergence_time"] is not None for r in rows)
+    assert all(r["convergence_time"] <= r["settle"] + 1e-9 for r in rows)
+
+    # graceful degradation: survival floor per archetype
+    survival = {}
+    for archetype in sorted({r["archetype"] for r in rows}):
+        sub = [r["delivery_ratio"] for r in rows if r["archetype"] == archetype]
+        survival[archetype] = round(sum(sub) / len(sub), 4)
+    weak = {a: s for a, s in survival.items() if s < SURVIVAL_FLOOR}
+    assert not weak, f"delivery survival below {SURVIVAL_FLOOR}: {weak}"
+
+    artifact = {
+        "experiment": "EXP-R3",
+        "cells": len(rows),
+        "converged_cells": sum(1 for r in rows if r["converged"]),
+        "intensity": INTENSITY,
+        "seeds": list(SEEDS),
+        "survival_by_archetype": survival,
+        "convergence_time_max": max(r["convergence_time"] for r in rows),
+        "reports": reports,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "exp_r3_chaos.json").write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        f"EXP-R3 pinned chaos suite: {artifact['converged_cells']}/"
+        f"{artifact['cells']} cells converged "
+        f"(intensity {INTENSITY}, seeds {list(SEEDS)})",
+        f"max convergence time: {artifact['convergence_time_max']:.3f} s",
+        "delivery survival by archetype:",
+    ]
+    lines += [f"  {a:15s} {s:.4f}" for a, s in survival.items()]
+    save_report("exp_r3_chaos", "\n".join(lines))

@@ -19,6 +19,7 @@ Registered tasks:
 ``fluid.cell``           one EXP-S2 packet-vs-fluid traffic cell
 ``faults.receiver``      one resilience row under wireless loss
 ``faults.ha_crash``      one resilience row under a home-agent crash
+``chaos.cell``           one EXP-R3 nemesis/convergence chaos cell
 ``spans.receiver``       one phase-attributed handover breakdown row
 ``selftest.echo``        cheap deterministic no-sim task (tests)
 ``selftest.sleep``       sleeps; exercises the hung-cell watchdog
@@ -375,6 +376,45 @@ def faults_ha_crash(
         crash_duration=crash_duration,
         run_until=run_until,
         packet_interval=packet_interval,
+    )
+
+
+# ----------------------------------------------------------------------
+# EXP-R3 chaos/convergence cells
+# ----------------------------------------------------------------------
+
+@register_task("chaos.cell")
+def chaos_cell_task(
+    topo: Optional[Dict[str, Any]] = None,
+    archetype: str = "flaps",
+    intensity: float = 0.5,
+    receivers: int = 12,
+    backend: str = "compact",
+    seed: int = 0,
+    warmup: float = 10.0,
+    chaos_duration: float = 10.0,
+    settle: float = 20.0,
+    packet_interval: float = 0.2,
+    traffic_model: str = "packet",
+    probe_interval: Optional[float] = None,
+    check_invariants: Optional[bool] = None,
+) -> Dict[str, Any]:
+    from ..chaos.study import chaos_cell
+
+    return chaos_cell(
+        topo=topo,
+        archetype=archetype,
+        intensity=intensity,
+        receivers=receivers,
+        backend=backend,
+        seed=seed,
+        warmup=warmup,
+        chaos_duration=chaos_duration,
+        settle=settle,
+        packet_interval=packet_interval,
+        traffic_model=traffic_model,
+        probe_interval=probe_interval,
+        check_invariants=check_invariants,
     )
 
 

@@ -1,0 +1,220 @@
+"""Seeded nemesis-schedule generation.
+
+A *nemesis* is an adversarial :class:`~repro.faults.FaultPlan` composed
+from one of five archetypes, carved out of the structure of a
+:class:`~repro.net.topogen.TopoGraph`:
+
+``flaps``
+    Rolling link flaps: a sample of transit links goes down and comes
+    back at staggered times across the chaos window.
+``partition``
+    A regional partition: a BFS-grown router region is cut off by
+    downing every link crossing the region boundary, then healed.
+``bursts``
+    Correlated Gilbert–Elliott loss bursts: a sample of transit links
+    shares one burst window with independently jittered loss rates.
+``ha-storm``
+    Home-agent crash/failover storm: a sample of home-agent routers
+    crash-restarts at staggered times.
+``mobility-storm``
+    Mass-handover storm: a clustered wave of radio blackouts across
+    the mobile receiver population.
+
+Every schedule is a pure function of ``(graph, archetype, intensity,
+seed, cell)``: randomness comes from ``random.Random(derive_seed(seed,
+f"nemesis.{archetype}.{cell}"))`` over sorted candidate lists, so the
+same inputs yield a byte-identical plan on any worker.  All generated
+plans are *healed by construction* — every fault is undone no later
+than ``start + duration`` (``FaultPlan.unhealed()`` is empty), which is
+the precondition for the convergence oracle's post-heal reference
+state (:mod:`repro.chaos.convergence`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence
+
+from ..faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    gilbert_loss,
+    handover_blackout,
+    link_down,
+    node_crash,
+)
+from ..net.topogen import TopoGraph
+from ..sim.rng import derive_seed
+
+__all__ = ["ARCHETYPES", "nemesis_plan"]
+
+#: The five nemesis archetypes, generation order = documentation order.
+ARCHETYPES = ("flaps", "partition", "bursts", "ha-storm", "mobility-storm")
+
+
+def _scaled_count(intensity: float, population: int, fraction: float) -> int:
+    """How many targets an archetype hits: ``intensity`` scales a
+    ``fraction`` of the candidate population, always at least one."""
+    return max(1, min(population, round(intensity * population * fraction)))
+
+
+def _transit_links(graph: TopoGraph) -> List[str]:
+    """Links joining two or more routers — the multicast tree's trunk.
+    Falls back to all links for topologies with no shared links."""
+    on_link = graph.routers_on()
+    transit = sorted(l for l, members in on_link.items() if len(members) >= 2)
+    return transit or sorted(on_link)
+
+
+def _flaps(
+    rng: random.Random, graph: TopoGraph, intensity: float,
+    start: float, duration: float,
+) -> List[Iterable[FaultEvent]]:
+    links = _transit_links(graph)
+    count = _scaled_count(intensity, len(links), 1.0)
+    events: List[Iterable[FaultEvent]] = []
+    for link in rng.sample(links, count):
+        down_at = start + rng.uniform(0.0, 0.55) * duration
+        outage = (0.10 + 0.25 * rng.random()) * duration
+        events.append(link_down(down_at, link, duration=outage))
+    return events
+
+
+def _partition(
+    rng: random.Random, graph: TopoGraph, intensity: float,
+    start: float, duration: float,
+) -> List[Iterable[FaultEvent]]:
+    adj = graph.adjacency()
+    routers = sorted(adj)
+    if len(routers) < 2:
+        # Nothing to partition; degrade to a flap of every link.
+        return _flaps(rng, graph, intensity, start, duration)
+    target = max(1, min(len(routers) - 1,
+                        round(intensity * len(routers) * 0.4)))
+    region = {rng.choice(routers)}
+    frontier = sorted(region)
+    while frontier and len(region) < target:
+        nxt: List[str] = []
+        for name in frontier:
+            for peer in sorted(adj[name]):
+                if peer not in region and len(region) < target:
+                    region.add(peer)
+                    nxt.append(peer)
+        frontier = nxt
+    cut = sorted(
+        link
+        for link, members in graph.routers_on().items()
+        if members
+        and any(m in region for m in members)
+        and any(m not in region for m in members)
+    )
+    if not cut:
+        return _flaps(rng, graph, intensity, start, duration)
+    cut_at = start + rng.uniform(0.0, 0.2) * duration
+    heal_after = (0.30 + 0.35 * rng.random()) * duration
+    return [link_down(cut_at, link, duration=heal_after) for link in cut]
+
+
+def _bursts(
+    rng: random.Random, graph: TopoGraph, intensity: float,
+    start: float, duration: float,
+) -> List[Iterable[FaultEvent]]:
+    links = _transit_links(graph)
+    count = _scaled_count(intensity, len(links), 1.0)
+    burst_at = start + rng.uniform(0.0, 0.25) * duration
+    burst_len = (0.30 + 0.35 * rng.random()) * duration
+    events: List[Iterable[FaultEvent]] = []
+    for link in rng.sample(links, count):
+        # Cap below the solver's ceiling: with the factory defaults
+        # (loss_bad=0.9, p_bad_to_good=0.25) mean rates above ~0.72
+        # have no stationary solution.
+        rate = min(0.65, (0.15 + 0.55 * intensity) * (0.8 + 0.4 * rng.random()))
+        events.append(
+            gilbert_loss(burst_at, link, rate=rate, duration=burst_len)
+        )
+    return events
+
+
+def _ha_storm(
+    rng: random.Random, graph: TopoGraph, intensity: float,
+    start: float, duration: float,
+) -> List[Iterable[FaultEvent]]:
+    ha_routers = sorted({router for _, router in graph.home_agents})
+    if not ha_routers:
+        raise ValueError("ha-storm needs a topology with home agents")
+    count = _scaled_count(intensity, len(ha_routers), 0.4)
+    events: List[Iterable[FaultEvent]] = []
+    for router in rng.sample(ha_routers, count):
+        crash_at = start + rng.uniform(0.0, 0.5) * duration
+        downtime = (0.10 + 0.25 * rng.random()) * duration
+        events.append(node_crash(crash_at, router, duration=downtime))
+    return events
+
+
+def _mobility_storm(
+    rng: random.Random, graph: TopoGraph, intensity: float,
+    start: float, duration: float, hosts: Sequence[str],
+) -> List[Iterable[FaultEvent]]:
+    if not hosts:
+        raise ValueError(
+            "mobility-storm needs the mobile host names "
+            "(nemesis_plan(..., hosts=[...]))"
+        )
+    names = sorted(hosts)
+    count = _scaled_count(intensity, len(names), 0.6)
+    wave_at = start + rng.uniform(0.0, 0.3) * duration
+    # Cluster the wave inside 20% of the window; individual blackouts
+    # are radio-scale (0.5–2 s), bounded so re-attach lands in-window.
+    events: List[Iterable[FaultEvent]] = []
+    for host in rng.sample(names, count):
+        blackout_at = wave_at + rng.uniform(0.0, 0.2) * duration
+        blackout_len = min(0.5 + 1.5 * rng.random(),
+                           max(0.1, start + duration - blackout_at - 0.05))
+        events.append(handover_blackout(blackout_at, host, blackout_len))
+    return events
+
+
+def nemesis_plan(
+    graph: TopoGraph,
+    archetype: str,
+    *,
+    intensity: float = 0.5,
+    seed: int = 0,
+    cell: str = "",
+    start: float = 10.0,
+    duration: float = 10.0,
+    hosts: Sequence[str] = (),
+) -> FaultPlan:
+    """Generate the seeded nemesis schedule for one chaos cell.
+
+    ``intensity`` in (0, 1] scales how much of the candidate population
+    (links, routers, hosts) each archetype hits.  ``cell`` is folded
+    into the derived seed so distinct cells of one campaign draw
+    independent schedules from one master seed.  ``hosts`` supplies the
+    mobile receiver names (required for ``mobility-storm``, ignored
+    elsewhere).
+    """
+    if archetype not in ARCHETYPES:
+        raise ValueError(
+            f"unknown nemesis archetype {archetype!r}; known: {ARCHETYPES}"
+        )
+    if not 0.0 < intensity <= 1.0:
+        raise ValueError(f"intensity must be in (0, 1], got {intensity}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    rng = random.Random(derive_seed(seed, f"nemesis.{archetype}.{cell}"))
+    if archetype == "flaps":
+        groups = _flaps(rng, graph, intensity, start, duration)
+    elif archetype == "partition":
+        groups = _partition(rng, graph, intensity, start, duration)
+    elif archetype == "bursts":
+        groups = _bursts(rng, graph, intensity, start, duration)
+    elif archetype == "ha-storm":
+        groups = _ha_storm(rng, graph, intensity, start, duration)
+    else:
+        groups = _mobility_storm(rng, graph, intensity, start, duration, hosts)
+    plan = FaultPlan(*groups)
+    leftovers: Dict[str, str] = plan.unhealed()
+    if leftovers:  # pragma: no cover - generator invariant
+        raise AssertionError(f"nemesis plan left faults open: {leftovers}")
+    return plan

@@ -462,6 +462,17 @@ def _sweep(args: argparse.Namespace) -> None:
         )
         payload["report"] = study
         sections.append(render_fluid_report(study))
+    elif args.grid == "chaos":
+        from .chaos import render_chaos_report, run_chaos_sweep
+
+        report = run_chaos_sweep(
+            seed=args.seed,
+            traffic_models=(traffic_model,),
+            probe_interval=probe_interval,
+            runner=runner,
+        )
+        payload["report"] = report
+        sections.append(render_chaos_report(report))
     else:  # scaling
         mobiles = run_ha_load_vs_mobiles(counts=(1, 2, 4, 8), seed=args.seed,
                                          runner=runner,
@@ -1068,10 +1079,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("grid",
                        choices=("compare", "timers", "scaling", "scale",
-                                "fluid"),
+                                "fluid", "chaos"),
                        nargs="?", default="compare",
                        help="which experiment grid to run (default: compare; "
-                       "'fluid' runs the EXP-S2 packet-vs-fluid study)")
+                       "'fluid' runs the EXP-S2 packet-vs-fluid study; "
+                       "'chaos' runs the EXP-R3 nemesis/convergence study)")
     sweep.add_argument("--seed", type=int, default=0,
                        help="campaign master seed")
     sweep.add_argument("--jobs", type=int, default=1,

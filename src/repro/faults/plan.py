@@ -99,11 +99,25 @@ class FaultEvent:
 
     @classmethod
     def from_jsonable(cls, data: Dict[str, Any]) -> "FaultEvent":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"fault event must be a mapping, got {type(data).__name__}: {data!r}"
+            )
+        missing = [k for k in ("at", "kind", "target") if k not in data]
+        if missing:
+            raise ValueError(
+                f"fault event missing field(s) {missing}: {data!r}"
+            )
+        params = data.get("params", {})
+        if not isinstance(params, dict):
+            raise ValueError(
+                f"fault event 'params' must be a mapping, got {params!r}"
+            )
         return cls(
             at=data["at"],
             kind=data["kind"],
             target=data["target"],
-            params=dict(data.get("params", {})),
+            params=dict(params),
         )
 
 
@@ -132,9 +146,88 @@ class FaultPlan:
             else:
                 raise TypeError(f"not a FaultEvent: {item!r}")
         # Stable sort: simultaneous events keep their plan order.
+        # This is the normalization step — out-of-order construction is
+        # legal, the plan itself is always time-ordered.
         self.events: Tuple[FaultEvent, ...] = tuple(
             sorted(events, key=lambda e: e.at)
         )
+        self._validate_sequencing()
+
+    def _validate_sequencing(self) -> None:
+        """Reject incoherent event sequences per target.
+
+        A second ``link-down`` on a link that is still down (no
+        ``link-up`` in between) and a ``node-crash`` on a node that is
+        still crashed are plan-construction errors: the injector would
+        silently collapse them, making the plan's heal times lie.
+        Nested ``loss-start`` events stay legal — the injector keeps a
+        save/restore stack of loss models per link.
+        """
+        down_since: Dict[str, float] = {}
+        crashed_since: Dict[str, float] = {}
+        for event in self.events:
+            if event.kind == "link-down":
+                if event.target in down_since:
+                    raise ValueError(
+                        f"overlapping link-down on {event.target!r}: "
+                        f"t={event.at} while already down since "
+                        f"t={down_since[event.target]} "
+                        "(insert a link-up between them)"
+                    )
+                down_since[event.target] = event.at
+            elif event.kind == "link-up":
+                down_since.pop(event.target, None)
+            elif event.kind == "node-crash":
+                if event.target in crashed_since:
+                    raise ValueError(
+                        f"overlapping node-crash on {event.target!r}: "
+                        f"t={event.at} while already crashed since "
+                        f"t={crashed_since[event.target]} "
+                        "(insert a node-restart between them)"
+                    )
+                crashed_since[event.target] = event.at
+            elif event.kind == "node-restart":
+                crashed_since.pop(event.target, None)
+
+    def unhealed(self) -> Dict[str, str]:
+        """Faults left outstanding at the end of the plan.
+
+        Maps target name to the fault kind still in effect
+        (``link-down`` / ``node-crash`` / ``loss-start``).  Empty for a
+        *healed* plan — the precondition for the convergence oracle's
+        post-heal reference state to be well defined.
+        """
+        open_faults: Dict[str, str] = {}
+        loss_depth: Dict[str, int] = {}
+        for event in self.events:
+            if event.kind in ("link-down", "node-crash"):
+                open_faults[event.target] = event.kind
+            elif event.kind in ("link-up", "node-restart"):
+                open_faults.pop(event.target, None)
+            elif event.kind == "loss-start":
+                loss_depth[event.target] = loss_depth.get(event.target, 0) + 1
+            elif event.kind == "loss-stop":
+                loss_depth[event.target] = loss_depth.get(event.target, 0) - 1
+        for target, depth in loss_depth.items():
+            if depth > 0 and target not in open_faults:
+                open_faults[target] = "loss-start"
+        return open_faults
+
+    def last_heal_time(self) -> float:
+        """Time of the plan's last event (0.0 for an empty plan).
+
+        For a healed plan (``unhealed()`` empty) this is the instant
+        after which the network is fault-free; blackouts extend it by
+        their duration since the re-attach happens ``duration`` after
+        the event fires.
+        """
+        last = 0.0
+        for event in self.events:
+            at = event.at
+            if event.kind == "blackout":
+                at += float(event.params["duration"])
+            last = max(last, at)
+        return last
 
     def __len__(self) -> int:
         return len(self.events)

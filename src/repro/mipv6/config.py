@@ -50,6 +50,15 @@ class MobileIpv6Config:
     bu_retransmit_interval: float = 1.0
     #: Maximum Binding Update retransmissions.
     bu_max_retransmits: int = 3
+    #: Capped-exponential backoff on BU retransmissions: retry *n*
+    #: waits ``bu_retransmit_interval * bu_backoff_factor**n`` seconds,
+    #: capped at ``bu_retransmit_max_interval`` (draft §5.1 prescribes
+    #: exactly this: "retransmitted ... using an exponential back-off
+    #: process").  The first transmission keeps the base interval, so
+    #: ack'd-first-time runs are unaffected; factor 1.0 restores the
+    #: fixed-interval schedule.
+    bu_backoff_factor: float = 2.0
+    bu_retransmit_max_interval: float = 16.0
 
     def __post_init__(self) -> None:
         if self.binding_lifetime <= 0:
@@ -61,3 +70,11 @@ class MobileIpv6Config:
         for name in ("handoff_delay", "movement_detection_delay", "coa_config_delay"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+        if self.bu_retransmit_interval <= 0:
+            raise ValueError("bu_retransmit_interval must be positive")
+        if self.bu_backoff_factor < 1.0:
+            raise ValueError("bu_backoff_factor must be >= 1.0")
+        if self.bu_retransmit_max_interval < self.bu_retransmit_interval:
+            raise ValueError(
+                "bu_retransmit_max_interval must be >= bu_retransmit_interval"
+            )

@@ -515,7 +515,17 @@ class MobileNode(Host):
             self._bu_timer = Timer(
                 self.sim, self._bu_retransmit, name=f"{self.name}.bu-rexmt"
             )
-        self._bu_timer.start(self.config.bu_retransmit_interval)
+        # Capped-exponential backoff (draft §5.1): the initial
+        # transmission waits the base interval, each unacked
+        # retransmission doubles it up to the cap; a Binding Ack (or a
+        # fresh registration) resets the schedule.
+        self._bu_timer.start(
+            min(
+                self.config.bu_retransmit_interval
+                * self.config.bu_backoff_factor ** self._bu_retries,
+                self.config.bu_retransmit_max_interval,
+            )
+        )
 
     def _bu_retransmit(self) -> None:
         if self._bu_retries >= self.config.bu_max_retransmits:

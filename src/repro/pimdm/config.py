@@ -38,6 +38,15 @@ class PimDmConfig:
     hello_holdtime: float = 105.0
     #: Graft retransmission interval while no Graft-Ack arrives (s).
     graft_retry_interval: float = 3.0
+    #: Capped-exponential backoff on Graft retransmissions: retry *n*
+    #: waits ``graft_retry_interval * graft_backoff_factor**n`` seconds,
+    #: capped at ``graft_retry_max_interval``.  The first (re)try keeps
+    #: the base interval, so loss-free runs are unaffected; under
+    #: sustained faults the backoff stops a partitioned router from
+    #: hammering a dead upstream (graceful degradation).  Factor 1.0
+    #: restores the fixed-interval draft behaviour.
+    graft_backoff_factor: float = 2.0
+    graft_retry_max_interval: float = 30.0
     #: Lifetime of assert-loser state on an interface (s).
     assert_time: float = 180.0
     #: PIM-DM State Refresh (the RFC 3973 extension): first-hop routers
@@ -64,6 +73,12 @@ class PimDmConfig:
             raise ValueError("hello_holdtime must exceed hello_period")
         if self.graft_retry_interval <= 0:
             raise ValueError("graft_retry_interval must be positive")
+        if self.graft_backoff_factor < 1.0:
+            raise ValueError("graft_backoff_factor must be >= 1.0")
+        if self.graft_retry_max_interval < self.graft_retry_interval:
+            raise ValueError(
+                "graft_retry_max_interval must be >= graft_retry_interval"
+            )
         if self.state_refresh_interval <= 0:
             raise ValueError("state_refresh_interval must be positive")
         if self.state_backend not in ("dict", "compact"):

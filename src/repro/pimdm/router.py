@@ -161,7 +161,21 @@ class PimDmEngine:
             self.node.trace(
                 "pim", event="neighbor-up", iface=iface.name, neighbor=str(packet.src)
             )
+            self._on_new_neighbor(iface)
         timer.start(hello.holdtime)
+
+    def _on_new_neighbor(self, iface: Interface) -> None:
+        """A newly discovered neighbor makes ``iface`` a candidate oif
+        again.  Any entry pruned toward upstream has regained downstream
+        interest and must graft — without this, a router that pruned
+        while its neighbor table was empty (e.g. just after a restart
+        cleared it) starves the branch for the remainder of the
+        upstream's prune-hold time."""
+        for entry in list(self.entries.values()):
+            if iface is entry.upstream_iface:
+                continue
+            if entry.pruned_upstream and self._has_interest(entry):
+                self._graft_upstream(entry)
 
     def _neighbor_expired(self, iface: Interface, address: Address) -> None:
         table = self.neighbors.get(iface.uid, {})
@@ -298,6 +312,17 @@ class PimDmEngine:
                     hook(packet, iface)
             if not outs and not self._has_interest(entry):
                 self._send_prune_upstream(entry)
+            elif entry.pruned_upstream:
+                # Upstream is forwarding to us although we believe the
+                # branch is pruned — either it restarted and forgot the
+                # prune, or our Graft (or its Ack) was lost.  Data on
+                # the RPF interface is as good as a Graft-Ack: clear
+                # the stale prune state instead of retrying into the
+                # backoff cap.
+                entry.pruned_upstream = False
+                entry.graft_retries = 0
+                if entry.graft_retry_timer is not None:
+                    entry.graft_retry_timer.stop()
         else:
             # Datagram on a non-RPF interface.  If we are (also) a
             # forwarder onto that link, this is the parallel-forwarder /
@@ -464,7 +489,7 @@ class PimDmEngine:
     # ------------------------------------------------------------------
     # graft
     # ------------------------------------------------------------------
-    def _graft_upstream(self, entry: SgEntry) -> None:
+    def _graft_upstream(self, entry: SgEntry, *, from_timer: bool = False) -> None:
         if not entry.pruned_upstream:
             return
         target = entry.upstream_target()
@@ -488,10 +513,23 @@ class PimDmEngine:
         if entry.graft_retry_timer is None:
             entry.graft_retry_timer = Timer(
                 self.node.sim,
-                lambda e=entry: self._graft_upstream(e),
+                lambda e=entry: self._graft_upstream(e, from_timer=True),
                 name=f"{self.node.name}.pim.graftretry",
             )
-        entry.graft_retry_timer.start(self.config.graft_retry_interval)
+        # Capped-exponential backoff: the first retry keeps the base
+        # interval (factor**0), each unacked retry doubles it up to the
+        # cap, and a Graft-Ack resets the count.  Only timer-fired
+        # retries escalate — a burst of event-triggered Grafts (e.g.
+        # several neighbor-up events after a restart) says nothing
+        # about upstream reachability and must not inflate the delay.
+        if from_timer:
+            entry.graft_retries += 1
+        retry_delay = min(
+            self.config.graft_retry_interval
+            * self.config.graft_backoff_factor ** entry.graft_retries,
+            self.config.graft_retry_max_interval,
+        )
+        entry.graft_retry_timer.start(retry_delay)
 
     def _on_graft(self, packet: Ipv6Packet, graft: PimGraft, iface: Interface) -> None:
         entry = self.entries.get(self.store.key(graft.source, graft.group))
@@ -526,6 +564,7 @@ class PimDmEngine:
             return
         entry.pruned_upstream = False
         entry.last_prune_sent = float("-inf")
+        entry.graft_retries = 0
         if entry.graft_retry_timer is not None:
             entry.graft_retry_timer.stop()
         self.node.trace(

@@ -374,6 +374,10 @@ class SgEntry:
     pruned_upstream: bool = False
     last_prune_sent: float = float("-inf")
     graft_retry_timer: Optional[Timer] = None
+    #: Grafts sent since the last Graft-Ack: drives the
+    #: capped-exponential retry backoff (graceful degradation under
+    #: sustained upstream loss).  Reset on ack.
+    graft_retries: int = 0
     #: Statistics for the experiments.
     packets_forwarded: int = 0
     packets_discarded: int = 0

@@ -343,9 +343,36 @@ class FluidModel(TrafficModel):
         self._touch()
 
     def _on_trace(self, event) -> None:
-        if event.detail.get("event") in _QUIET_EVENTS:
+        kind = event.detail.get("event")
+        if kind in _QUIET_EVENTS:
             return
+        if kind == "node-restart" and event.category == "fault":
+            self._resync_after_restart()
         self._touch()
+
+    def _resync_after_restart(self) -> None:
+        """Re-prime data-driven state after a cold router restart.
+
+        A restarted router has no (S,G) entries, and
+        :meth:`_router_receive` refuses to carry fluid rate through a
+        router until a real packet rebuilds the entry.  Left alone,
+        recovery would wait for the next scheduled probe — up to
+        ``probe_interval`` (100× the packet interval by default),
+        where the packet model recovers within one ``packet_interval``.
+        Firing one immediate out-of-cycle probe per emitting flow
+        resynchronizes the two models at the restart boundary without
+        touching the regular probe cadence."""
+        for src in self.flows:
+            if src.emitting:
+                self.net.sim.schedule(
+                    0.0, self._resync_probe, src, label=f"{src.flow}.resync"
+                )
+
+    def _resync_probe(self, src: FluidSource) -> None:
+        # Re-check at dispatch: a same-timestamp handler may have
+        # stopped the flow between scheduling and firing.
+        if src.emitting:
+            src._send_one()
 
     def _on_link_change(self, _link) -> None:
         if self.net is not None:

@@ -1,0 +1,102 @@
+"""Nemesis-schedule generation: determinism, healing, validation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chaos import ARCHETYPES, nemesis_plan
+from repro.net.topogen import topo_graph
+
+HIER = {"model": "hier", "depth": 2, "fanout": 3}
+WAXMAN = {"model": "waxman", "n": 12, "seed": 5}
+HOSTS = [f"m{i:05d}" for i in range(8)]
+
+
+def _plan(spec, archetype, **kw):
+    kw.setdefault("hosts", HOSTS)
+    return nemesis_plan(topo_graph(spec), archetype, **kw)
+
+
+class TestValidation:
+    def test_unknown_archetype(self):
+        with pytest.raises(ValueError, match="unknown nemesis archetype"):
+            _plan(HIER, "locusts")
+
+    @pytest.mark.parametrize("intensity", [0.0, -0.1, 1.5])
+    def test_intensity_range(self, intensity):
+        with pytest.raises(ValueError, match="intensity"):
+            _plan(HIER, "flaps", intensity=intensity)
+
+    def test_duration_positive(self):
+        with pytest.raises(ValueError, match="duration"):
+            _plan(HIER, "flaps", duration=0.0)
+
+    def test_mobility_storm_needs_hosts(self):
+        with pytest.raises(ValueError, match="host names"):
+            _plan(HIER, "mobility-storm", hosts=())
+
+
+@pytest.mark.parametrize("spec", [HIER, WAXMAN], ids=["hier", "waxman"])
+@pytest.mark.parametrize("archetype", ARCHETYPES)
+class TestEveryArchetype:
+    def test_healed_by_construction(self, spec, archetype):
+        plan = _plan(spec, archetype, intensity=0.8, seed=3)
+        assert plan.unhealed() == {}
+        assert len(plan) >= 1
+
+    def test_heals_inside_window(self, spec, archetype):
+        plan = _plan(
+            spec, archetype, intensity=0.8, seed=3, start=10.0, duration=10.0
+        )
+        assert all(e.at >= 10.0 for e in plan)
+        assert plan.last_heal_time() <= 20.0 + 1e-9
+
+    def test_same_seed_byte_identical(self, spec, archetype):
+        a = _plan(spec, archetype, seed=11, cell="c")
+        b = _plan(spec, archetype, seed=11, cell="c")
+        assert json.dumps(a.to_jsonable()) == json.dumps(b.to_jsonable())
+
+    def test_cell_decorrelates(self, spec, archetype):
+        a = _plan(spec, archetype, seed=11, cell="cell-a")
+        b = _plan(spec, archetype, seed=11, cell="cell-b")
+        assert a.to_jsonable() != b.to_jsonable()
+
+
+class TestIntensityScaling:
+    def test_more_intensity_more_targets(self):
+        low = _plan(WAXMAN, "flaps", intensity=0.1, seed=0)
+        high = _plan(WAXMAN, "flaps", intensity=1.0, seed=0)
+        assert len(high.targets()) > len(low.targets())
+
+    def test_partition_cuts_boundary_links(self):
+        plan = _plan(WAXMAN, "partition", intensity=0.7, seed=2)
+        downs = [e for e in plan if e.kind == "link-down"]
+        ups = [e for e in plan if e.kind == "link-up"]
+        assert downs and len(downs) == len(ups)
+        # one shared cut instant: a partition, not independent flaps
+        assert len({e.at for e in downs}) == 1
+
+    def test_bursts_share_a_window(self):
+        plan = _plan(WAXMAN, "bursts", intensity=0.8, seed=2)
+        starts = [e for e in plan if e.kind == "loss-start"]
+        assert starts and len({e.at for e in starts}) == 1
+        assert all(e.params["model"] == "gilbert" for e in starts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    archetype=st.sampled_from(ARCHETYPES),
+    intensity=st.floats(min_value=0.05, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_deterministic_and_healed(archetype, intensity, seed):
+    """Same inputs -> byte-identical schedule; every schedule heals."""
+    graph = topo_graph(HIER)
+    kw = dict(intensity=intensity, seed=seed, cell="prop", hosts=HOSTS)
+    a = nemesis_plan(graph, archetype, **kw)
+    b = nemesis_plan(graph, archetype, **kw)
+    assert json.dumps(a.to_jsonable(), sort_keys=True) == json.dumps(
+        b.to_jsonable(), sort_keys=True
+    )
+    assert a.unhealed() == {}

@@ -136,3 +136,114 @@ class TestFactories:
     def test_blackout_factory(self):
         (ev,) = handover_blackout(6.0, "R3", 2.0)
         assert ev.kind == "blackout" and ev.params == {"duration": 2.0}
+
+
+class TestSequencingValidation:
+    """Overlap rejection + heal accounting (the chaos contract)."""
+
+    def test_overlapping_link_down_rejected(self):
+        with pytest.raises(ValueError, match="overlapping link-down.*L1"):
+            FaultPlan(
+                FaultEvent(1.0, "link-down", "L1"),
+                FaultEvent(2.0, "link-down", "L1"),
+            )
+
+    def test_overlapping_node_crash_rejected(self):
+        with pytest.raises(ValueError, match="overlapping node-crash.*D"):
+            FaultPlan(
+                FaultEvent(1.0, "node-crash", "D"),
+                FaultEvent(3.0, "node-crash", "D"),
+            )
+
+    def test_out_of_order_construction_normalizes_then_validates(self):
+        # events given out of order: the sort happens first, so the
+        # healed sequence down@1 up@2 down@3 is legal in any order
+        plan = FaultPlan(
+            FaultEvent(3.0, "link-down", "L1"),
+            FaultEvent(1.0, "link-down", "L1"),
+            FaultEvent(2.0, "link-up", "L1"),
+        )
+        assert [e.at for e in plan] == [1.0, 2.0, 3.0]
+
+    def test_interleaved_down_up_legal(self):
+        plan = FaultPlan(
+            link_down(1.0, "L1", duration=1.0),
+            link_down(5.0, "L1", duration=1.0),
+        )
+        assert plan.unhealed() == {}
+
+    def test_nested_loss_start_legal(self):
+        # the injector keeps a save/restore stack of loss models
+        plan = FaultPlan(
+            FaultEvent(1.0, "loss-start", "L1", {"model": "bernoulli", "rate": 0.1}),
+            FaultEvent(2.0, "loss-start", "L1", {"model": "bernoulli", "rate": 0.5}),
+            FaultEvent(3.0, "loss-stop", "L1"),
+            FaultEvent(4.0, "loss-stop", "L1"),
+        )
+        assert plan.unhealed() == {}
+
+    def test_different_targets_do_not_interact(self):
+        plan = FaultPlan(
+            FaultEvent(1.0, "link-down", "L1"),
+            FaultEvent(1.5, "link-down", "L2"),
+            FaultEvent(2.0, "link-up", "L1"),
+            FaultEvent(2.5, "link-up", "L2"),
+        )
+        assert plan.unhealed() == {}
+
+    def test_unhealed_reports_open_faults(self):
+        plan = FaultPlan(
+            FaultEvent(1.0, "link-down", "L1"),
+            FaultEvent(2.0, "node-crash", "D"),
+            FaultEvent(3.0, "loss-start", "L6", {"model": "bernoulli", "rate": 0.1}),
+        )
+        assert plan.unhealed() == {
+            "L1": "link-down", "D": "node-crash", "L6": "loss-start",
+        }
+
+    def test_last_heal_time_plain(self):
+        plan = FaultPlan(link_down(5.0, "L1", duration=2.5))
+        assert plan.last_heal_time() == 7.5
+
+    def test_last_heal_time_extends_for_blackout(self):
+        plan = FaultPlan(handover_blackout(6.0, "R3", 2.0))
+        assert plan.last_heal_time() == 8.0
+
+    def test_last_heal_time_empty_plan(self):
+        assert FaultPlan().last_heal_time() == 0.0
+
+
+class TestFromJsonableErrors:
+    """Malformed plans must fail loudly, not half-load."""
+
+    def test_event_not_a_mapping(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            FaultEvent.from_jsonable(["link-down", "L1"])
+
+    def test_event_missing_fields(self):
+        with pytest.raises(ValueError, match=r"missing field\(s\).*kind"):
+            FaultEvent.from_jsonable({"at": 1.0, "target": "L1"})
+
+    def test_event_params_not_a_mapping(self):
+        with pytest.raises(ValueError, match="'params' must be a mapping"):
+            FaultEvent.from_jsonable(
+                {"at": 1.0, "kind": "link-down", "target": "L1", "params": [1]}
+            )
+
+    def test_plan_round_trip_with_gilbert_params(self):
+        plan = FaultPlan(
+            gilbert_loss(3.0, "L6", p_good_to_bad=0.02, duration=4.0),
+            node_crash(5.0, "D", duration=2.0),
+        )
+        blob = plan.to_jsonable()
+        again = FaultPlan.from_jsonable(blob)
+        assert again == plan
+        assert again.to_jsonable() == blob
+
+    def test_plan_round_trip_rejects_overlap(self):
+        blob = [
+            {"at": 1.0, "kind": "link-down", "target": "L1"},
+            {"at": 2.0, "kind": "link-down", "target": "L1"},
+        ]
+        with pytest.raises(ValueError, match="overlapping link-down"):
+            FaultPlan.from_jsonable(blob)

@@ -1,0 +1,117 @@
+"""Exponential backoff on Binding Update retransmission (draft §5.1).
+
+The draft prescribes retransmitting an unacknowledged BU "using an
+exponential back-off process"; the previous fixed-interval behavior is
+recoverable with ``bu_backoff_factor=1.0``.  Acks reset the process,
+so loss-free handovers are timing-identical either way.
+"""
+
+import pytest
+
+from repro.mipv6 import DeliveryMode, HomeAgent, MobileIpv6Config, MobileNode
+from repro.net import Network
+
+
+def lone_ha_network(config, seed=3):
+    """One HA on the home link, a foreign link to move to."""
+    net = Network(seed=seed)
+    home = net.add_link("home", "2001:db8:1::/64")
+    backbone = net.add_link("backbone", "2001:db8:2::/64")
+    foreign = net.add_link("foreign", "2001:db8:3::/64")
+    ha = HomeAgent(net.sim, "HA", tracer=net.tracer, rng=net.rng)
+    ha.attach_to(home, home.prefix.address_for_host(1))
+    ha.attach_to(backbone, backbone.prefix.address_for_host(1))
+    net.register_node(ha)
+    net.on_start(ha.start)
+    edge = HomeAgent(net.sim, "EDGE", tracer=net.tracer, rng=net.rng)
+    edge.attach_to(backbone, backbone.prefix.address_for_host(3))
+    edge.attach_to(foreign, foreign.prefix.address_for_host(3))
+    net.register_node(edge)
+    net.on_start(edge.start)
+    mn = MobileNode(
+        net.sim, "MN", tracer=net.tracer, rng=net.rng,
+        home_link=home,
+        home_agent_address=ha.address_on(home),
+        host_id=0x64,
+        config=config,
+        recv_mode=DeliveryMode.HA_TUNNEL,
+        send_mode=DeliveryMode.HA_TUNNEL,
+    )
+    net.register_node(mn)
+    return net, (home, backbone, foreign), (ha, edge), mn
+
+
+def kill(ha, net):
+    for iface in list(ha.interfaces):
+        iface.detach()
+    net.build_routes()
+
+
+def bu_times(net):
+    times = []
+    net.tracer.add_listener(
+        lambda ev: times.append(ev.time)
+        if ev.node == "MN" and ev.detail.get("event") == "bu-sent"
+        else None,
+        categories=("mipv6",),
+    )
+    return times
+
+
+def test_backoff_doubles_then_caps():
+    cfg = MobileIpv6Config(
+        bu_retransmit_interval=1.0,
+        bu_backoff_factor=2.0,
+        bu_retransmit_max_interval=4.0,
+        bu_max_retransmits=6,
+    )
+    net, links, (ha, edge), mn = lone_ha_network(cfg)
+    times = bu_times(net)
+    net.run(until=1.0)
+    kill(ha, net)
+    mn.move_to(links[2])
+    net.run(until=30.0)
+    gaps = [round(b - a, 6) for a, b in zip(times, times[1:])]
+    # 1, 2, 4 then capped at the max interval
+    assert gaps[:4] == [1.0, 2.0, 4.0, 4.0]
+
+
+def test_factor_one_restores_fixed_interval():
+    cfg = MobileIpv6Config(
+        bu_retransmit_interval=1.0,
+        bu_backoff_factor=1.0,
+        bu_max_retransmits=4,
+    )
+    net, links, (ha, edge), mn = lone_ha_network(cfg)
+    times = bu_times(net)
+    net.run(until=1.0)
+    kill(ha, net)
+    mn.move_to(links[2])
+    net.run(until=20.0)
+    gaps = [round(b - a, 6) for a, b in zip(times, times[1:])]
+    assert len(gaps) >= 3
+    assert all(g == 1.0 for g in gaps)
+
+
+def test_ack_resets_backoff():
+    cfg = MobileIpv6Config(
+        bu_retransmit_interval=1.0,
+        bu_backoff_factor=2.0,
+        bu_retransmit_max_interval=8.0,
+    )
+    net, links, (ha, edge), mn = lone_ha_network(cfg)
+    net.run(until=1.0)
+    mn.move_to(links[2])
+    net.run(until=10.0)
+    # registration succeeded: the counter is back to zero
+    assert mn._bu_retries == 0
+    assert ha.binding_cache.get(mn.home_address) is not None
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MobileIpv6Config(bu_backoff_factor=0.9)
+    with pytest.raises(ValueError):
+        MobileIpv6Config(
+            bu_retransmit_interval=2.0, bu_retransmit_max_interval=1.0
+        )

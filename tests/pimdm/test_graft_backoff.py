@@ -1,0 +1,119 @@
+"""Capped-exponential backoff on Graft retransmission.
+
+Under a long outage the draft's fixed 3 s retry turns every pruned
+branch into a metronome of useless Grafts; the backoff doubles the gap
+per unacked retry up to ``graft_retry_max_interval`` and resets on the
+first Graft-Ack.  ``graft_backoff_factor=1.0`` restores draft timing,
+and a loss-free join sends exactly one Graft either way — golden
+traces never see the backoff.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, link_down
+from repro.mld import MldHost
+from repro.net import Address, ApplicationData
+from repro.pimdm import PimDmConfig
+
+from topo_helpers import build_line
+
+GROUP = Address("ff1e::1")
+
+
+def grafting_line(config, seed=7):
+    topo = build_line(2, seed=seed, pim_config=config)
+    sender = topo.host_on(0, 100, "S")
+    listener = topo.host_on(2, 101, "H")
+    mld = MldHost(listener, None)
+    for k in range(120):
+        topo.net.sim.schedule_at(
+            1.0 + 0.5 * k, sender.send_multicast, GROUP, ApplicationData(seqno=k)
+        )
+    return topo, mld
+
+
+def graft_times(topo):
+    times = []
+    topo.net.tracer.add_listener(
+        lambda ev: times.append(ev.time)
+        if ev.detail.get("event") == "graft-sent" and ev.node == "R1"
+        else None,
+        categories=("pim",),
+    )
+    return times
+
+
+def test_backoff_doubles_and_caps():
+    cfg = PimDmConfig(
+        graft_retry_interval=1.0,
+        graft_backoff_factor=2.0,
+        graft_retry_max_interval=4.0,
+    )
+    topo, mld = grafting_line(cfg)
+    times = graft_times(topo)
+    # outage spans many retries: join at 25.5, link back at 40
+    FaultInjector(
+        topo.net, FaultPlan(link_down(25.0, "L1", duration=15.0))
+    ).arm()
+    topo.net.sim.schedule_at(25.5, mld.join, GROUP)
+    topo.net.run(until=45.0)
+
+    gaps = [round(b - a, 6) for a, b in zip(times, times[1:])]
+    # 1, 2, 4, then capped at 4 for every further unacked retry
+    assert gaps[:3] == [1.0, 2.0, 4.0]
+    assert all(g == 4.0 for g in gaps[3:-1])
+    assert topo.net.tracer.count("pim", event="graft-acked", node="R1") >= 1
+
+
+def test_factor_one_restores_draft_timing():
+    cfg = PimDmConfig(
+        graft_retry_interval=1.0,
+        graft_backoff_factor=1.0,
+        graft_retry_max_interval=30.0,
+    )
+    topo, mld = grafting_line(cfg)
+    times = graft_times(topo)
+    FaultInjector(
+        topo.net, FaultPlan(link_down(25.0, "L1", duration=6.0))
+    ).arm()
+    topo.net.sim.schedule_at(25.5, mld.join, GROUP)
+    topo.net.run(until=40.0)
+    gaps = [round(b - a, 6) for a, b in zip(times, times[1:])]
+    assert len(gaps) >= 3
+    assert all(g == 1.0 for g in gaps[:-1])
+
+
+def test_ack_resets_backoff():
+    cfg = PimDmConfig(
+        graft_retry_interval=1.0,
+        graft_backoff_factor=2.0,
+        graft_retry_max_interval=8.0,
+    )
+    topo, mld = grafting_line(cfg)
+    FaultInjector(
+        topo.net, FaultPlan(link_down(25.0, "L1", duration=5.0))
+    ).arm()
+    topo.net.sim.schedule_at(25.5, mld.join, GROUP)
+    topo.net.run(until=45.0)
+    entry = next(iter(topo.routers[1].pim.entries.values()))
+    assert not entry.pruned_upstream
+    assert entry.graft_retries == 0
+
+
+def test_loss_free_join_sends_one_graft():
+    cfg = PimDmConfig(
+        graft_retry_interval=1.0,
+        graft_backoff_factor=2.0,
+        graft_retry_max_interval=8.0,
+    )
+    topo, mld = grafting_line(cfg)
+    topo.net.sim.schedule_at(25.5, mld.join, GROUP)
+    topo.net.run(until=35.0)
+    assert topo.net.tracer.count("pim", event="graft-sent", node="R1") == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PimDmConfig(graft_backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        PimDmConfig(graft_retry_interval=3.0, graft_retry_max_interval=1.0)
