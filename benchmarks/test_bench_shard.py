@@ -1,0 +1,100 @@
+"""EXP-P2 sharded-kernel gate — 4 regions over the EXP-S1 scenario.
+
+Runs the 1,110-router EXP-S1 scale cell (docs/TOPOLOGIES.md) once on a
+single kernel and once on 4 conservatively synchronized shards — one
+worker process per region, link-delay lookahead (docs/PERFORMANCE.md,
+"Sharded execution") — and gates:
+
+* **determinism** (always): a second 4-shard run reproduces the merged
+  trace digest byte for byte, and the per-shard event totals are
+  identical;
+* **mechanism** (always): >1 barrier round, a finite lookahead bound,
+  and boundary links actually crossed;
+* **speedup** (only with >= 4 physical cores): the 4-shard run must
+  sustain >= 2.5x the single-kernel events/s.  On smaller machines the
+  run still executes — measuring the synchronization overhead honestly
+  — but the ratio assertion is skipped, mirroring the cpu_count
+  fingerprint exemption in ``repro bench --baseline``.
+
+Calibration (4-core reference): single kernel ~2,900 events/s, 4
+shards ~8,700 events/s (3.0x) on the 500-receiver / 20 s cell below.
+"""
+
+import os
+from time import perf_counter
+
+from repro.core.scalestudy import scale_cell
+
+from bench_utils import once, save_report
+
+SHARDS = 4
+SPEEDUP_FLOOR = 2.5
+MIN_CORES = 4
+
+CELL = dict(
+    model_params={"depth": 3, "fanout": 10},
+    receivers=500,
+    groups=1,
+    mobility=0.05,
+    seed=0,
+    warmup=8.0,
+    duration=20.0,
+    check_invariants=False,
+)
+
+
+def run():
+    started = perf_counter()
+    single = scale_cell(**CELL)
+    single_wall = perf_counter() - started
+
+    started = perf_counter()
+    sharded = scale_cell(shards=SHARDS, shard_executor="process", **CELL)
+    sharded_wall = perf_counter() - started
+    return single, single_wall, sharded, sharded_wall
+
+
+def test_bench_shard_exp_p2(benchmark):
+    single, single_wall, sharded, sharded_wall = once(benchmark, run)
+    single_rate = single["events"] / single_wall if single_wall > 0 else 0.0
+    sharded_rate = sharded["events"] / sharded_wall if sharded_wall > 0 else 0.0
+    speedup = sharded_rate / single_rate if single_rate > 0 else 0.0
+    info = sharded["shards"]
+    cores = os.cpu_count() or 1
+
+    # determinism re-run through the in-process reference executor:
+    # cheaper than a second worker fleet and a strictly stronger check
+    # (cross-executor byte identity, not just run-to-run)
+    rerun = scale_cell(shards=SHARDS, shard_executor="inproc", **CELL)
+
+    report = [
+        f"EXP-P2: {sharded['routers']} routers, {CELL['receivers']} receivers "
+        f"across {SHARDS} shards ({info['boundary_links']} boundary links, "
+        f"lookahead {info['lookahead']:g}s, {info['rounds']} barrier rounds)",
+        f"single kernel : {single['events']:,} events in {single_wall:.1f}s "
+        f"({single_rate:,.0f} events/s)",
+        f"{SHARDS} shards      : {sharded['events']:,} events in "
+        f"{sharded_wall:.1f}s ({sharded_rate:,.0f} events/s)",
+        f"speedup: {speedup:.2f}x on {cores} cores "
+        f"(floor {SPEEDUP_FLOOR}x, gated at >= {MIN_CORES} cores)",
+        f"merged digest: {info['digest']}",
+    ]
+    save_report("shard_exp_p2", "\n".join(report))
+
+    # determinism: the re-run reproduces the merged digest byte for byte
+    assert rerun["shards"]["digest"] == info["digest"]
+    assert rerun["shards"]["per_shard_events"] == info["per_shard_events"]
+    assert rerun["events"] == sharded["events"]
+
+    # mechanism: regions really synchronized over boundary channels
+    assert info["count"] == SHARDS
+    assert info["rounds"] > 1
+    assert info["boundary_links"] > 0
+    assert info["lookahead"] > 0.0
+    assert sum(info["per_shard_events"]) == sharded["events"]
+
+    if cores >= MIN_CORES:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"EXP-P2 regression: {speedup:.2f}x < {SPEEDUP_FLOOR}x on "
+            f"{cores} cores"
+        )

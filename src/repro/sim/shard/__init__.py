@@ -1,0 +1,17 @@
+"""Spatially sharded simulation: conservative multi-kernel execution.
+
+* :mod:`repro.sim.shard.partition` — deterministic region split of a
+  :class:`~repro.net.topogen.TopoGraph` and the link-delay lookahead
+  bound,
+* :mod:`repro.sim.shard.kernel` — :class:`ShardedSimulator`, the
+  barrier-round LBTS coordinator with the ``run/step/now/schedule``
+  surface of a plain :class:`~repro.sim.Simulator`,
+* :mod:`repro.sim.shard.netrunner` — full-replica execution of EXP-S1
+  scale cells, in-process or one worker process per shard (imported
+  lazily: it pulls in the net layer).
+"""
+
+from .kernel import ShardedSimulator
+from .partition import Partition, partition_graph
+
+__all__ = ["Partition", "ShardedSimulator", "partition_graph"]

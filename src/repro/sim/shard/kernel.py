@@ -1,0 +1,302 @@
+"""Conservative synchronized multi-simulator kernel (LBTS windows).
+
+:class:`ShardedSimulator` coordinates N :class:`~repro.sim.kernel.
+Simulator` instances — one per spatial region — with the classic
+conservative (null-message/LBTS-style) algorithm, specialized to a
+**barrier-round** form:
+
+1. at a barrier, exchange all buffered cross-shard messages and compute
+   ``T`` = the minimum next-event time across shards (the lower bound
+   on time stamp, LBTS),
+2. grant every shard the window ``[T, T + lookahead)``: each shard
+   dispatches **all** its events strictly below the horizon
+   (:meth:`Simulator.run_below`),
+3. repeat.
+
+Safety: a cross-shard message sent at time ``u ≥ T`` arrives no earlier
+than ``u + lookahead ≥ T + lookahead`` — beyond the horizon — so no
+message can land inside a window that is already executing.  This is
+exactly the invariant :meth:`send` enforces.  (Float addition is
+monotone, so the inequality survives rounding.)
+
+Determinism: cross-shard messages carry a ``(time, src_shard, seq)``
+key — ``seq`` is a per-source channel counter — and are injected at the
+barrier in sorted key order.  Within a window each shard's dispatch
+order depends only on its own heap, so the merged execution is a pure
+function of the initial schedule regardless of how windows are driven
+(:meth:`run` runs shards one after another; :meth:`step` interleaves
+them in global ``(time, shard_id)`` order; both yield identical
+per-shard event streams).
+
+This class is the in-process reference executor; the multiprocessing
+executor in :mod:`repro.sim.shard.netrunner` runs the same rounds with
+the windows actually concurrent across worker processes.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import nullcontext
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..kernel import Event, SimulationError, Simulator
+
+__all__ = ["ShardedSimulator"]
+
+
+class ShardedSimulator:
+    """N region simulators under one ``run/step/now/schedule`` surface.
+
+    Parameters
+    ----------
+    shards:
+        Number of sub-simulators to create (ignored when ``sims`` is
+        given).
+    lookahead:
+        Minimum cross-shard propagation delay (see
+        :func:`repro.sim.shard.partition.partition_graph`).  Must be
+        positive; ``inf`` (the default) means the shards share no
+        channels and each runs to completion independently.
+    sims:
+        Pre-built sub-simulators to coordinate (e.g. the ``Network``
+        replicas' kernels).  Each must be exclusively driven through
+        this object once handed over.
+    shard_context:
+        Optional ``shard_id -> context manager`` factory entered around
+        every dispatch on that shard (the in-process network executor
+        uses it to swap per-replica module counters).
+    """
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        lookahead: float = math.inf,
+        sims: Optional[Sequence[Simulator]] = None,
+        shard_context: Optional[Callable[[int], Any]] = None,
+    ) -> None:
+        if sims is not None:
+            self.sims: List[Simulator] = list(sims)
+            if shards is not None and shards != len(self.sims):
+                raise ValueError("shards does not match len(sims)")
+        else:
+            if shards is None or shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards!r}")
+            self.sims = [Simulator() for _ in range(shards)]
+        if not self.sims:
+            raise ValueError("need at least one shard")
+        if not lookahead > 0.0:
+            raise ValueError(f"lookahead must be positive, got {lookahead!r}")
+        self.lookahead = lookahead
+        self._shard_context = shard_context
+        #: buffered cross-shard sends per source shard, drained at barriers
+        self._outbox: List[List[tuple]] = [[] for _ in self.sims]
+        #: per-source channel sequence numbers (the deterministic tie-break)
+        self._chan_seq: List[int] = [0 for _ in self.sims]
+        #: rounds executed (reported by benches: barrier-sync overhead proxy)
+        self.rounds = 0
+        self._horizon: Optional[float] = None  # step-mode open window
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # aggregate views (the Simulator-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self.sims)
+
+    @property
+    def now(self) -> float:
+        """Global simulation time: the slowest shard's clock."""
+        return min(s.now for s in self.sims)
+
+    @property
+    def events_dispatched(self) -> int:
+        return sum(s.events_dispatched for s in self.sims)
+
+    @property
+    def events_pending(self) -> int:
+        return sum(s.events_pending for s in self.sims) + sum(
+            len(box) for box in self._outbox
+        )
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        shard: int = 0,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule on ``shard``, ``delay`` seconds after *its* clock."""
+        return self.sims[shard].schedule(delay, fn, *args, label=label, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        shard: int = 0,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        return self.sims[shard].schedule_at(time, fn, *args, label=label, **kwargs)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> None:
+        """Buffer a cross-shard message for delivery at absolute ``time``.
+
+        Called from inside a window executing on shard ``src``.  The
+        message is injected into ``dst`` at the next barrier; ``time``
+        must respect the lookahead contract (``≥ src.now + lookahead``),
+        which is what makes the open windows of the other shards safe.
+        """
+        if src == dst:
+            # degenerate case: a local message needs no barrier
+            self.sims[dst].schedule_at(time, fn, *args, label=label, **kwargs)
+            return
+        if not math.isfinite(self.lookahead):
+            raise SimulationError(
+                "cross-shard send with infinite lookahead: this partition "
+                "declared no boundary channels"
+            )
+        src_now = self.sims[src].now
+        if time < src_now + self.lookahead:
+            raise SimulationError(
+                f"cross-shard message at t={time!r} violates lookahead: "
+                f"sender is at t={src_now!r} with lookahead {self.lookahead!r}"
+            )
+        self._chan_seq[src] += 1
+        self._outbox[src].append(
+            (time, self._chan_seq[src], dst, fn, args, kwargs, label)
+        )
+
+    # ------------------------------------------------------------------
+    # the barrier rounds
+    # ------------------------------------------------------------------
+    def _exchange(self) -> None:
+        """Drain every outbox into the destination heaps, sorted by the
+        deterministic ``(time, src_shard, seq)`` key."""
+        pending = []
+        for src, box in enumerate(self._outbox):
+            for time, seq, dst, fn, args, kwargs, label in box:
+                pending.append((time, src, seq, dst, fn, args, kwargs, label))
+            box.clear()
+        if not pending:
+            return
+        pending.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        for time, _src, _seq, dst, fn, args, kwargs, label in pending:
+            self.sims[dst].schedule_at(time, fn, *args, label=label, **kwargs)
+
+    def _next_time(self) -> Optional[float]:
+        times = [t for t in (s.peek_next_time() for s in self.sims) if t is not None]
+        return min(times) if times else None
+
+    def _context(self, shard: int):
+        if self._shard_context is None:
+            return nullcontext()
+        return self._shard_context(shard)
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Run barrier rounds until exhaustion (or past ``until``).
+
+        Matches :meth:`Simulator.run` semantics: events at exactly
+        ``until`` are dispatched, and every shard clock is advanced to
+        ``until`` on return.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._horizon = None  # a step-mode window does not survive run()
+        base = self.events_dispatched
+        try:
+            while True:
+                self._exchange()
+                t = self._next_time()
+                if t is None or (until is not None and t > until):
+                    break
+                self.rounds += 1
+                horizon = t + self.lookahead
+                if until is not None and horizon > until:
+                    # final window: run inclusive of ``until`` — any
+                    # message generated at u ≤ until arrives at
+                    # u + lookahead ≥ horizon > until, i.e. safely
+                    # outside what the other shards are executing
+                    for i, sim in enumerate(self.sims):
+                        with self._context(i):
+                            sim.run(until=until)
+                elif not math.isfinite(horizon):
+                    # no boundary channels: each region runs independently
+                    for i, sim in enumerate(self.sims):
+                        with self._context(i):
+                            sim.run()
+                else:
+                    for i, sim in enumerate(self.sims):
+                        with self._context(i):
+                            sim.run_below(horizon)
+                if (
+                    max_events is not None
+                    and self.events_dispatched - base > max_events
+                ):
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+            if until is not None:
+                # nothing left at or below ``until``: advance every clock
+                for sim in self.sims:
+                    sim.run(until=until)
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Dispatch the globally next event (``(time, shard_id)`` order).
+
+        Maintains the same windows as :meth:`run` across calls — the
+        open horizon persists between steps, and the barrier exchange
+        happens exactly when a window drains — so a fully stepped
+        execution produces per-shard event streams identical to a
+        :meth:`run` one.  Returns False once every heap and outbox is
+        empty.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        while True:
+            if self._horizon is None:
+                self._exchange()
+                t = self._next_time()
+                if t is None:
+                    return False
+                self.rounds += 1
+                self._horizon = t + self.lookahead
+            best_shard: Optional[int] = None
+            best_time = self._horizon
+            for i, sim in enumerate(self.sims):
+                nt = sim.peek_next_time()
+                if nt is not None and nt < best_time:
+                    best_time = nt
+                    best_shard = i
+            if best_shard is None:
+                self._horizon = None  # window drained: barrier
+                continue
+            with self._context(best_shard):
+                self.sims[best_shard].step()
+            return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardedSimulator shards={self.shards} t={self.now:.6f} "
+            f"pending={self.events_pending} rounds={self.rounds}>"
+        )

@@ -1,0 +1,575 @@
+"""Sharded execution of EXP-S1 scale cells (the EXP-P2 runner).
+
+Spatial sharding with **full network replicas**: every shard builds the
+complete topology identically (global FIB computation needs the whole
+graph, and identical construction keeps RNG stream names, interface
+uids, and neighbor caches consistent across replicas), but
+
+* only the nodes a shard **owns** (per
+  :func:`~repro.sim.shard.partition.partition_graph`) are started and
+  scheduled — the other replicas stay inert,
+* frames addressed to an interface owned by another shard are *shipped*
+  at transmit time (a ``(link, node, packet, arrival)`` record through
+  the :class:`~repro.sim.shard.kernel.ShardedSimulator` outbox or a
+  ``multiprocessing`` pipe) and injected into the owner replica's copy
+  of the link via ``Link._deliver_one`` — so PIM Hellos, Joins/Prunes,
+  Asserts, and data packets all cross regions with their real link
+  delay, which is never below the partition lookahead.
+
+Two executors run the same barrier rounds:
+
+* ``inproc`` — all replicas in this process under one
+  :class:`ShardedSimulator`; the deterministic reference (used by the
+  digest-stability tests).  Each replica's packet-uid counter is
+  swapped in around its windows so uid streams match the process-per-
+  shard executor exactly.
+* ``process`` — one worker process per shard over ``multiprocessing``
+  pipes; windows execute concurrently, which is where the EXP-P2
+  events/s speedup comes from.
+
+Known v1 modelling deltas versus the single-kernel run (documented in
+docs/PERFORMANCE.md): boundary-link FIFO serialization (``_busy_until``)
+and per-link loss streams are tracked per replica rather than globally,
+and seeded handovers stay within the mobile's home region.  Results are
+therefore compared for *digest stability at a fixed shard count*, not
+for byte equality across shard counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+import multiprocessing
+import traceback
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...net.packet import swap_packet_uid_counter
+from ...net.stats import STATE_BYTE_COSTS, STATE_KINDS, estimate_state_bytes
+from .kernel import ShardedSimulator
+from .partition import Partition, partition_graph
+
+__all__ = ["run_sharded_scale_cell"]
+
+
+class _ShardDeliveryRouter:
+    """The ``Link`` hook deciding local delivery vs cross-shard shipping."""
+
+    __slots__ = ("shard_id", "_owner", "_ship")
+
+    def __init__(self, shard_id: int, owner: Dict[str, int], ship) -> None:
+        self.shard_id = shard_id
+        self._owner = owner
+        self._ship = ship
+
+    def local(self, iface) -> bool:
+        return self._owner.get(iface.node.name, self.shard_id) == self.shard_id
+
+    def ship(self, link, iface, packet, arrival: float) -> None:
+        self._ship(
+            self._owner[iface.node.name], link.name, iface.node.name, packet, arrival
+        )
+
+
+class _ShardReplica:
+    """One shard's full-topology replica of an EXP-S1 scale cell.
+
+    Mirrors :func:`repro.core.scalestudy.scale_cell` construction order
+    exactly (links, routers, sources, receivers, traffic, joins, moves)
+    so node names and RNG streams agree across replicas; the only
+    divergence is *which* schedule entries are armed (owned nodes only).
+    """
+
+    def __init__(
+        self,
+        spec: Dict[str, Any],
+        shards: int,
+        shard_id: int,
+        receivers: int,
+        groups: int,
+        mobility: float,
+        backend: str,
+        seed: int,
+        warmup: float,
+        duration: float,
+        packet_interval: float,
+    ) -> None:
+        from ...net.topogen import build_network, topo_graph
+        from ...pimdm import PimDmConfig
+        from ...traffic import make_traffic_model
+
+        graph = topo_graph(spec)
+        self.partition = partition_graph(graph, shards)
+        self.shard_id = shard_id
+        self.graph = graph
+        built = build_network(
+            graph, seed=seed, pim_config=PimDmConfig(state_backend=backend)
+        )
+        self.built = built
+        self.net = built.net
+        part = self.partition
+
+        group_addrs = [built.make_group(g + 1) for g in range(groups)]
+        leaf = graph.leaf_links
+        sources = [
+            built.place_source(f"s{g:03d}", link_name=leaf[g % len(leaf)])
+            for g in range(groups)
+        ]
+        population = built.place_receivers(receivers)
+
+        # ownership: routers per the partition; a host belongs to its
+        # home leaf link's shard (its HA is that leaf's router, so the
+        # whole home registration stays region-local)
+        self._node_owner: Dict[str, int] = dict(part.router_owner)
+        for host in sources + population:
+            self._node_owner[host.name] = part.link_owner[host.home_link.name]
+        owned = {
+            name for name, shard in self._node_owner.items() if shard == shard_id
+        }
+
+        self.traffic = make_traffic_model("packet")
+        self.traffic.attach(self.net)
+
+        # boot only owned engines; the other replicas' copies stay inert
+        # (they transmit nothing, and every frame addressed to them is
+        # shipped to the owner replica instead of delivered here)
+        self.net._startables = [
+            fn
+            for fn in self.net._startables
+            if getattr(fn, "__self__", None) is None
+            or fn.__self__.name in owned
+        ]
+
+        # cross-shard shipping on the boundary links only — interior
+        # links keep the zero-overhead ``None`` fast path
+        self._boundary_iface: Dict[Tuple[str, str], Any] = {}
+        router = _ShardDeliveryRouter(shard_id, self._node_owner, self._ship)
+        for name in part.boundary_links:
+            link = self.net.links[name]
+            link.set_shard_router(router)
+            for iface in link.interfaces:
+                self._boundary_iface[(name, iface.node.name)] = iface
+        #: buffered shipments (arrival, seq, dst_shard, link, node, packet);
+        #: the in-process executor bypasses this via ``ship_hook``
+        self._outbox: List[tuple] = []
+        self._seq = 0
+        self.ship_hook = None
+
+        self.net.start()
+        for g, group in enumerate(group_addrs):
+            self._schedule_owned_joins(
+                population[g::groups],
+                group,
+                owned,
+                start=1.0,
+                spread=max(warmup - 2.0, 1.0),
+                stream=f"topogen.joins.g{g}",
+            )
+            if sources[g].name in owned:
+                self.traffic.add_cbr(
+                    sources[g],
+                    group,
+                    packet_interval=packet_interval,
+                    flow=f"flow-g{g}",
+                ).start(at=warmup / 2)
+        self.moves = self._schedule_owned_moves(
+            population, mobility, owned, start=warmup, horizon=warmup + duration
+        )
+        # same mid-run peak-state snapshot as the single-kernel cell
+        self.net.sim.schedule_at(warmup + duration / 2, self.net.collect_state)
+
+    # ------------------------------------------------------------------
+    # seeded schedules: every replica draws the FULL sequence (identical
+    # stream consumption everywhere) but arms only its owned hosts
+    # ------------------------------------------------------------------
+    def _schedule_owned_joins(
+        self, hosts, group, owned, start: float, spread: float, stream: str
+    ) -> None:
+        rng = self.net.rng.stream(stream)
+        for host in hosts:
+            at = start + rng.uniform(0.0, spread)
+            if host.name in owned:
+                self.net.sim.schedule_at(
+                    at, host.join_group, group, label=f"{host.name}.join"
+                )
+
+    def _schedule_owned_moves(
+        self,
+        hosts,
+        moves_per_host: float,
+        owned,
+        start: float,
+        horizon: float,
+        stream: str = "topogen.moves",
+    ) -> int:
+        """Seeded handovers, restricted to the mobile's home region so a
+        moved host keeps its shard (v1 contract; see module docstring).
+        Returns the count scheduled across *all* shards — identical in
+        every replica, since every replica draws the full sequence."""
+        part = self.partition
+        leaves = list(self.graph.leaf_links)
+        if moves_per_host <= 0 or horizon <= start or len(leaves) < 2:
+            return 0
+        by_shard: Dict[int, List[str]] = {}
+        for name in leaves:
+            by_shard.setdefault(part.link_owner[name], []).append(name)
+        rng = self.net.rng.stream(stream)
+        scheduled = 0
+        for host in hosts:
+            home = host.home_link.name
+            pool = [l for l in by_shard[part.link_owner[home]] if l != home]
+            n = int(moves_per_host)
+            if rng.uniform(0.0, 1.0) < (moves_per_host - n):
+                n += 1
+            for _ in range(n):
+                at = start + rng.uniform(0.0, horizon - start)
+                if not pool:
+                    # single-leaf region: no in-region target exists
+                    continue
+                target = rng.choice(pool)
+                scheduled += 1
+                if host.name in owned:
+                    self.net.sim.schedule_at(
+                        at,
+                        host.move_to,
+                        self.net.link(target),
+                        label=f"{host.name}.move",
+                    )
+        return scheduled
+
+    # ------------------------------------------------------------------
+    # cross-shard frame plumbing
+    # ------------------------------------------------------------------
+    def _ship(
+        self, dst: int, link_name: str, node_name: str, packet, arrival: float
+    ) -> None:
+        if self.ship_hook is not None:
+            self.ship_hook(dst, link_name, node_name, packet, arrival)
+            return
+        self._seq += 1
+        self._outbox.append((arrival, self._seq, dst, link_name, node_name, packet))
+
+    def take_outbox(self) -> List[tuple]:
+        out, self._outbox = self._outbox, []
+        return out
+
+    def deliver_boundary(self, link_name: str, node_name: str, packet) -> None:
+        """Receive a shipped frame: run the owner-side delivery path
+        (detach/down/crash checks + the loss draw) on our replica."""
+        link = self.net.links[link_name]
+        link._deliver_one(self._boundary_iface[(link_name, node_name)], packet)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        self.traffic.finish()
+        self.net.collect_state()
+
+    def result_payload(self) -> Dict[str, Any]:
+        from ...obs import digest_events
+
+        stats = self.net.stats
+        return {
+            "shard": self.shard_id,
+            "events": self.net.sim.events_dispatched,
+            "trace_events": len(self.net.tracer.events),
+            "digest": digest_events(self.net.tracer.events),
+            "state_entries": {
+                kind: stats.state_entries.get(kind, 0) for kind in STATE_KINDS
+            },
+            "control_packets": {
+                c: stats.total_packets(c) for c in ("pim", "mld", "mipv6")
+            },
+            "control_bytes": stats.signaling_bytes(),
+            "mcast_packets": stats.total_packets("mcast_data"),
+            "moves": self.moves,
+        }
+
+
+# ----------------------------------------------------------------------
+# in-process executor (deterministic reference)
+# ----------------------------------------------------------------------
+def _run_inproc(
+    params: Dict[str, Any], shards: int, end: float
+) -> Tuple[List[Dict[str, Any]], int]:
+    replicas: List[_ShardReplica] = []
+    counters: List[Any] = []
+    for i in range(shards):
+        # Network.__init__ resets the module uid counter; capture each
+        # replica's counter right after its construction so the window
+        # context can restore it — making uid streams identical to the
+        # process-per-shard executor, where module state is per-process
+        replicas.append(_ShardReplica(shard_id=i, **params))
+        counters.append(swap_packet_uid_counter(itertools.count(1)))
+
+    @contextmanager
+    def shard_context(i: int):
+        prev = swap_packet_uid_counter(counters[i])
+        try:
+            yield
+        finally:
+            swap_packet_uid_counter(prev)
+
+    sharded = ShardedSimulator(
+        sims=[r.net.sim for r in replicas],
+        lookahead=replicas[0].partition.lookahead,
+        shard_context=shard_context,
+    )
+
+    def make_ship(src: int):
+        def ship(dst, link_name, node_name, packet, arrival):
+            sharded.send(
+                src,
+                dst,
+                arrival,
+                replicas[dst].deliver_boundary,
+                link_name,
+                node_name,
+                packet,
+                label=f"{link_name}.xrx",
+            )
+
+        return ship
+
+    for i, replica in enumerate(replicas):
+        replica.ship_hook = make_ship(i)
+        # anything transmitted during synchronous construction/boot was
+        # buffered in the replica outbox; re-route it through the
+        # coordinator (same (src, seq) order the exchange sort expects)
+        for arrival, _seq, dst, link_name, node_name, packet in replica.take_outbox():
+            replica.ship_hook(dst, link_name, node_name, packet, arrival)
+    sharded.run(until=end)
+    for i, replica in enumerate(replicas):
+        with shard_context(i):
+            replica.finish()
+    return [r.result_payload() for r in replicas], sharded.rounds
+
+
+# ----------------------------------------------------------------------
+# process-per-shard executor (the parallel one)
+# ----------------------------------------------------------------------
+def _shard_worker(conn, params: Dict[str, Any]) -> None:
+    """One shard's event loop: build, then serve barrier rounds."""
+    try:
+        replica = _ShardReplica(**params)
+        sim = replica.net.sim
+        end = params["warmup"] + params["duration"]
+        conn.send(("next", sim.peek_next_time(), []))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "window":
+                _, bound, inclusive, incoming = msg
+                # incoming is pre-sorted by (time, src, seq) — the same
+                # deterministic injection order as ShardedSimulator
+                for arrival, link_name, node_name, packet in incoming:
+                    sim.schedule_at(
+                        arrival,
+                        replica.deliver_boundary,
+                        link_name,
+                        node_name,
+                        packet,
+                        label=f"{link_name}.xrx",
+                    )
+                if inclusive:
+                    sim.run(until=bound)
+                else:
+                    sim.run_below(bound)
+                conn.send(("next", sim.peek_next_time(), replica.take_outbox()))
+            elif msg[0] == "finish":
+                sim.run(until=msg[1])
+                replica.finish()
+                conn.send(("result", replica.result_payload()))
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown command {msg[0]!r}")
+    except Exception:  # pragma: no cover - surfaced by the parent
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+def _mp_context():
+    # fork shares the parent's imported modules (fast worker start and
+    # no re-import cost); fall back to the platform default elsewhere
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+def _recv(conn):
+    msg = conn.recv()
+    if msg[0] == "error":
+        raise RuntimeError(f"shard worker failed:\n{msg[1]}")
+    return msg
+
+
+def _run_mp(
+    params: Dict[str, Any], shards: int, lookahead: float, end: float
+) -> Tuple[List[Dict[str, Any]], int]:
+    ctx = _mp_context()
+    conns, procs = [], []
+    try:
+        for i in range(shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, {**params, "shard_id": i}),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+        next_times: List[Optional[float]] = [None] * shards
+        #: in-flight cross-shard messages (time, src, seq, dst, link, node, packet)
+        pending: List[tuple] = []
+        for i, conn in enumerate(conns):
+            _, next_times[i], _ = _recv(conn)
+        rounds = 0
+        while True:
+            candidates = [t for t in next_times if t is not None]
+            candidates += [m[0] for m in pending]
+            if not candidates:
+                break
+            t = min(candidates)
+            if t > end:
+                break
+            rounds += 1
+            horizon = t + lookahead
+            inclusive = not math.isfinite(horizon) or horizon > end
+            bound = end if inclusive else horizon
+            pending.sort(key=lambda m: (m[0], m[1], m[2]))
+            route: List[List[tuple]] = [[] for _ in range(shards)]
+            for time_, _src, _seq, dst, link_name, node_name, packet in pending:
+                route[dst].append((time_, link_name, node_name, packet))
+            pending = []
+            for i, conn in enumerate(conns):
+                conn.send(("window", bound, inclusive, route[i]))
+            for i, conn in enumerate(conns):
+                _, next_times[i], out = _recv(conn)
+                for arrival, seq, dst, link_name, node_name, packet in out:
+                    pending.append(
+                        (arrival, i, seq, dst, link_name, node_name, packet)
+                    )
+        for conn in conns:
+            conn.send(("finish", end))
+        payloads = [_recv(conn)[1] for conn in conns]
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():  # pragma: no cover - hung worker guard
+                proc.terminate()
+    payloads.sort(key=lambda p: p["shard"])
+    return payloads, rounds
+
+
+# ----------------------------------------------------------------------
+# public entry: a sharded EXP-S1 cell with the scale_cell result schema
+# ----------------------------------------------------------------------
+def run_sharded_scale_cell(
+    model: str = "hier",
+    model_params: Optional[Dict[str, Any]] = None,
+    receivers: int = 100,
+    groups: int = 1,
+    mobility: float = 0.0,
+    backend: str = "compact",
+    seed: int = 0,
+    warmup: float = 10.0,
+    duration: float = 30.0,
+    packet_interval: float = 1.0,
+    shards: int = 2,
+    executor: str = "process",
+) -> Dict[str, Any]:
+    """Run one EXP-S1 cell across ``shards`` regions.
+
+    Returns the :func:`repro.core.scalestudy.scale_cell` result schema
+    (state/control metrics merged across shards — state is partitioned
+    by node ownership, link accounting by transmitting replica, so sums
+    are double-count-free) plus a ``"shards"`` block with the partition
+    summary, barrier-round count, and the per-shard trace digests whose
+    hash is the run's determinism fingerprint.
+    """
+    from ...net.topogen import topo_graph
+
+    if executor not in ("process", "inproc"):
+        raise ValueError(f"unknown shard executor {executor!r}")
+    spec = {"model": model, **(model_params or {})}
+    graph = topo_graph(spec)
+    partition = partition_graph(graph, shards)
+    params = dict(
+        spec=spec,
+        shards=shards,
+        receivers=receivers,
+        groups=groups,
+        mobility=mobility,
+        backend=backend,
+        seed=seed,
+        warmup=warmup,
+        duration=duration,
+        packet_interval=packet_interval,
+    )
+    end = warmup + duration
+    if executor == "inproc" or shards == 1:
+        payloads, rounds = _run_inproc(params, shards, end)
+    else:
+        payloads, rounds = _run_mp(params, shards, partition.lookahead, end)
+
+    entries = {
+        kind: sum(p["state_entries"][kind] for p in payloads)
+        for kind in STATE_KINDS
+    }
+    snap = {
+        "entries": entries,
+        "total_entries": sum(entries.values()),
+        "bytes": {
+            backend_name: estimate_state_bytes(entries, backend_name)
+            for backend_name in sorted(STATE_BYTE_COSTS)
+        },
+    }
+    gain = (
+        snap["bytes"]["dict"] / snap["bytes"]["compact"]
+        if snap["bytes"]["compact"]
+        else 1.0
+    )
+    digests = [p["digest"] for p in payloads]
+    # uid streams restart per shard, so digests are meaningful per shard;
+    # the merged fingerprint is the hash of the ordered per-shard list
+    merged = hashlib.sha256("\n".join(digests).encode()).hexdigest()
+    return {
+        "model": model,
+        "model_params": dict(model_params or {}),
+        "routers": len(graph.routers),
+        "links": len(graph.links),
+        "receivers": receivers,
+        "groups": groups,
+        "mobility": mobility,
+        "moves": payloads[0]["moves"],
+        "backend": backend,
+        "seed": seed,
+        "graph_digest": graph.digest(),
+        "events": sum(p["events"] for p in payloads),
+        "state": snap,
+        "aggregation_gain": round(gain, 4),
+        "control_packets": {
+            c: sum(p["control_packets"][c] for p in payloads)
+            for c in ("pim", "mld", "mipv6")
+        },
+        "control_bytes": sum(p["control_bytes"] for p in payloads),
+        "mcast_packets": sum(p["mcast_packets"] for p in payloads),
+        "shards": {
+            "count": shards,
+            "executor": executor,
+            "rounds": rounds,
+            "lookahead": partition.lookahead,
+            "boundary_links": len(partition.boundary_links),
+            "routers_per_shard": partition.describe()["routers_per_shard"],
+            "per_shard_events": [p["events"] for p in payloads],
+            "digests": digests,
+            "digest": merged,
+        },
+    }

@@ -1,0 +1,112 @@
+"""Spatial region partitioning for the sharded kernel (EXP-P2).
+
+A :class:`~repro.net.topogen.TopoGraph` is split into ``shards``
+contiguous blocks of routers **in graph order**.  The generators emit
+routers in level order (``hierarchical_graph``) / pod order
+(``fattree_graph``), so consecutive routers share subtrees/pods and a
+contiguous cut keeps most links internal to one region — the cheap,
+deterministic analogue of a min-cut partitioner.
+
+The conservative synchronization contract hangs off this split:
+
+* a **boundary link** is one whose attached routers span more than one
+  shard — the only channels between regions,
+* the **lookahead** is the minimum propagation delay over the boundary
+  links: a frame transmitted at time *t* cannot arrive at another
+  region before ``t + lookahead``, so every shard may safely dispatch
+  all events strictly below ``LBTS + lookahead`` (see
+  :class:`repro.sim.shard.kernel.ShardedSimulator`).
+
+Everything here is a pure function of ``(graph, shards)`` — same graph
+and shard count ⇒ identical partition on every machine and run, which
+is what makes sharded runs digest-stable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Partition", "partition_graph"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A spatial split of a topology graph into simulator regions."""
+
+    shards: int
+    #: router name -> owning shard id
+    router_owner: Dict[str, int]
+    #: link name -> owning shard id (shard of its first attached router)
+    link_owner: Dict[str, int]
+    #: links whose attached routers span more than one shard, graph order
+    boundary_links: Tuple[str, ...]
+    #: min boundary-link delay; ``inf`` when no link crosses regions
+    lookahead: float
+
+    def owner_of(self, router_name: str) -> int:
+        return self.router_owner[router_name]
+
+    def describe(self) -> Dict[str, object]:
+        """Machine-readable summary (logged by sweeps and benches)."""
+        sizes = [0] * self.shards
+        for shard in self.router_owner.values():
+            sizes[shard] += 1
+        return {
+            "shards": self.shards,
+            "routers_per_shard": sizes,
+            "boundary_links": len(self.boundary_links),
+            "lookahead": self.lookahead,
+        }
+
+
+def partition_graph(graph, shards: int) -> Partition:
+    """Partition ``graph`` into ``shards`` contiguous router blocks.
+
+    Router ``j`` of ``n`` (graph order) goes to shard ``j·shards // n``
+    — blocks differ in size by at most one router.  A link is owned by
+    the shard of its first attached router (attachment order); links
+    attaching routers from several shards are the boundary set, and
+    their minimum delay is the lookahead bound.
+
+    Raises ``ValueError`` for ``shards < 1``, more shards than routers,
+    or a zero-delay boundary link (which would collapse the lookahead
+    window to nothing — conservative synchronization needs strictly
+    positive lookahead).
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards!r}")
+    n = len(graph.routers)
+    if shards > n:
+        raise ValueError(
+            f"cannot split {n} routers into {shards} shards; "
+            "use at most one shard per router"
+        )
+    router_owner = {
+        spec.name: idx * shards // n for idx, spec in enumerate(graph.routers)
+    }
+    delays = {spec.name: spec.delay for spec in graph.links}
+    link_owner: Dict[str, int] = {}
+    boundary = []
+    lookahead = math.inf
+    for link_name, members in graph.routers_on().items():
+        owners = [router_owner[name] for name in members]
+        # a link with no attached router cannot carry traffic between
+        # regions; park it on shard 0
+        link_owner[link_name] = owners[0] if owners else 0
+        if len(set(owners)) > 1:
+            boundary.append(link_name)
+            if delays[link_name] <= 0.0:
+                raise ValueError(
+                    f"boundary link {link_name!r} has zero delay; "
+                    "conservative sharding needs positive lookahead"
+                )
+            lookahead = min(lookahead, delays[link_name])
+    return Partition(
+        shards=shards,
+        router_owner=router_owner,
+        link_owner=link_owner,
+        boundary_links=tuple(boundary),
+        lookahead=lookahead,
+    )

@@ -96,6 +96,11 @@ _LISTEN_CATEGORIES = frozenset(
     {"pim", "pim.state", "mld", "mipv6", "mobility", "fault"}
 )
 
+#: router-side MLD membership changes: a (re)joined listener is waiting
+#: for data, so the model fires an out-of-cycle probe instead of letting
+#: the join delay snap to the probe cadence (see ``_request_resync``)
+_MEMBERSHIP_EVENTS = frozenset({"members-detected", "static-join"})
+
 _MAX_HOPS = 64
 
 
@@ -270,6 +275,9 @@ class FluidModel(TrafficModel):
         self.analytic_packets = 0.0
         self.recomputes = 0
         self.integrations = 0
+        # out-of-cycle probe dedup: flows already resynced at _resync_at
+        self._resync_at = -1.0
+        self._resync_flows: set = set()
 
     # ------------------------------------------------------------------
     # TrafficModel interface
@@ -348,6 +356,13 @@ class FluidModel(TrafficModel):
             return
         if kind == "node-restart" and event.category == "fault":
             self._resync_after_restart()
+        elif event.category == "mld" and kind in _MEMBERSHIP_EVENTS:
+            # A listener (re)appeared on some router: in packet mode the
+            # next datagram arrives within one packet_interval and drives
+            # the graft machinery forward; fire an out-of-cycle probe so
+            # fluid mode does the same instead of waiting out the probe
+            # cadence (the §4.3 join-delay quantization bug).
+            self._request_resync()
         self._touch()
 
     def _resync_after_restart(self) -> None:
@@ -362,8 +377,23 @@ class FluidModel(TrafficModel):
         Firing one immediate out-of-cycle probe per emitting flow
         resynchronizes the two models at the restart boundary without
         touching the regular probe cadence."""
+        self._request_resync()
+
+    def _request_resync(self) -> None:
+        """Schedule one immediate out-of-cycle probe per emitting flow.
+
+        Deduplicated per (flow, timestamp): membership changes at scale
+        fire ``members-detected`` once per joining link, and the
+        delivery-rate transition in :meth:`_recompute` may land at the
+        same instant — one probe per flow per boundary is enough to
+        resynchronize with packet mode."""
+        now = self.net.sim.now
+        if self._resync_at != now:
+            self._resync_at = now
+            self._resync_flows.clear()
         for src in self.flows:
-            if src.emitting:
+            if src.emitting and id(src) not in self._resync_flows:
+                self._resync_flows.add(id(src))
                 self.net.sim.schedule(
                     0.0, self._resync_probe, src, label=f"{src.flow}.resync"
                 )
@@ -426,6 +456,7 @@ class FluidModel(TrafficModel):
     # ------------------------------------------------------------------
     def _recompute(self) -> None:
         old_rates = self._link_rates
+        old_deliveries = self._delivery_rates
         plan = _RatePlan()
         for src in self.flows:
             if src.emitting:
@@ -436,6 +467,17 @@ class FluidModel(TrafficModel):
         self._loss_rates = dict(plan.losses)
         self.recomputes += 1
         self._emit_boundaries(old_rates, self._link_rates)
+        # A receiver's delivery rate went 0 -> positive: the tree just
+        # became ready for it (graft completed / oif added).  This is
+        # the instant the next packet-mode datagram would arrive, so
+        # fire an out-of-cycle probe to give the receiver app its first
+        # real delivery now — span/app-derived join delays otherwise
+        # quantize to the probe cadence.
+        if any(
+            rate > 0.0 and old_deliveries.get(host, 0.0) <= 0.0
+            for host, rate in self._delivery_rates.items()
+        ):
+            self._request_resync()
 
     def _emit_boundaries(self, old, new) -> None:
         tracer = self.net.tracer

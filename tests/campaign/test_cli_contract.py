@@ -114,6 +114,10 @@ class TestBadArguments:
         [
             (["sweep", "--jobs", "0"], "--jobs must be >= 1"),
             (["sweep", "--jobs", "-4"], "--jobs must be >= 1"),
+            (["sweep", "scale", "--shards", "0"], "--shards must be >= 1"),
+            (["sweep", "scale", "--shards", "-2"], "--shards must be >= 1"),
+            (["sweep", "timers", "--shards", "2"],
+             "--shards applies to the scale grid only"),
             (["sweep", "timers", "--repeats", "0"], "--repeats must be >= 1"),
             (["faults", "--loss", "1.5"], "--loss rates must be in [0, 1)"),
             (["faults", "--approaches", "bogus"], "unknown approach"),

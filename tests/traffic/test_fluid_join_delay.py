@@ -1,0 +1,77 @@
+"""Regression: fluid-mode §4.3 join delays must not be probe-quantized.
+
+The fluid engine detects delivery at a receiver's new attachment via
+sparse probe datagrams.  Before the out-of-cycle resync fix
+(``FluidModel._request_resync``), the first probe after a handover
+rode the periodic cadence, so the measured join delay snapped to the
+probe grid — up to ``probe_interval`` seconds of pure measurement
+artifact on a ~1.6 s figure.  The fix emits an immediate probe on
+every MLD membership change and handover rejoin; these tests pin the
+resulting contract: fluid join delays match packet mode within 2 %
+regardless of the probe cadence (docs/TRAFFIC.md).
+"""
+
+import pytest
+
+from repro.core import ALL_APPROACHES, receiver_mobility_run
+
+#: docs/TRAFFIC.md §4.3 tolerance, plus one packet interval of slack —
+#: the packet engine itself only resolves delivery to datagram arrivals.
+REL_TOL = 0.02
+ABS_TOL = 0.05
+
+#: one fluid+packet row pair per parameter set (runs are deterministic)
+_memo = {}
+
+
+def _pair(approach, probe_interval=None):
+    key = (approach.key, probe_interval)
+    if key not in _memo:
+        _memo[key] = (
+            receiver_mobility_run(approach),
+            receiver_mobility_run(
+                approach, traffic_model="fluid", probe_interval=probe_interval
+            ),
+        )
+    return _memo[key]
+
+
+@pytest.mark.parametrize(
+    "approach", ALL_APPROACHES, ids=[a.key for a in ALL_APPROACHES]
+)
+def test_join_delay_matches_packet_mode(approach):
+    """Default probe cadence: fluid §4.3 join delay within 2 % of packet."""
+    packet, fluid = _pair(approach)
+    assert packet["join_delay"] is not None
+    assert fluid["join_delay"] is not None
+    assert fluid["join_delay"] == pytest.approx(
+        packet["join_delay"], rel=REL_TOL, abs=ABS_TOL
+    )
+
+
+def test_join_delay_not_snapped_to_coarse_probe_grid():
+    """A 5 s probe cadence must not quantize a ~1.6 s join delay.
+
+    This is the load-bearing regression guard: without the immediate
+    out-of-cycle resync probe, the fluid join delay here lands on the
+    next periodic probe tick — seconds away from the packet-mode
+    figure — and this assertion fails by an order of magnitude.
+    """
+    approach = ALL_APPROACHES[0]
+    packet, fluid = _pair(approach, probe_interval=5.0)
+    assert fluid["join_delay"] is not None
+    error = abs(fluid["join_delay"] - packet["join_delay"])
+    assert error <= max(REL_TOL * packet["join_delay"], ABS_TOL), (
+        f"fluid join delay {fluid['join_delay']:.4f}s deviates {error:.4f}s "
+        f"from packet mode {packet['join_delay']:.4f}s — probe-grid "
+        "quantization is back"
+    )
+
+
+def test_leave_delay_unaffected_by_probe_cadence():
+    """Leave detection is pure control plane (MLD timers); a coarse
+    probe cadence must leave it untouched."""
+    packet, fluid = _pair(ALL_APPROACHES[0], probe_interval=5.0)
+    assert fluid["leave_delay"] == pytest.approx(
+        packet["leave_delay"], rel=0.05, abs=1.0
+    )
